@@ -1,0 +1,75 @@
+// Command sealsec runs the security experiments of the SEAL
+// reproduction: the substitute-model study behind Figures 3 (IP
+// stealing) and 4 (adversarial transferability).
+//
+// Usage:
+//
+//	sealsec                       # all three architectures, default scale
+//	sealsec -quick                # one architecture, reduced settings
+//	sealsec -arch vgg16,resnet18  # subset
+//	sealsec -ratios 0.9,0.5,0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"seal/internal/exp"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "use the reduced smoke-scale configuration")
+		arches  = flag.String("arch", "", "comma-separated subset of vgg16,resnet18,resnet34")
+		ratios  = flag.String("ratios", "", "comma-separated encryption ratios (e.g. 0.9,0.5,0.1)")
+		seed    = flag.Uint64("seed", 7, "experiment seed")
+		premise = flag.Bool("premise", false, "also run the pruning-premise validation")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultSecurityConfig()
+	if *quick {
+		cfg = exp.QuickSecurityConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Progress = os.Stderr
+	if *arches != "" {
+		cfg.Arches = strings.Split(*arches, ",")
+	}
+	if *ratios != "" {
+		cfg.Ratios = nil
+		for _, tok := range strings.Split(*ratios, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil || v < 0 || v > 1 {
+				fmt.Fprintf(os.Stderr, "sealsec: bad ratio %q\n", tok)
+				os.Exit(2)
+			}
+			cfg.Ratios = append(cfg.Ratios, v)
+		}
+	}
+
+	start := time.Now()
+	res, err := exp.RunSecurity(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealsec: %v\n", err)
+		os.Exit(1)
+	}
+	res.Figure3().Format(os.Stdout)
+	fmt.Println()
+	res.Figure4().Format(os.Stdout)
+	fmt.Printf("  (security suite in %.0fs)\n", time.Since(start).Seconds())
+
+	if *premise {
+		tab, err := exp.PruningPremise(cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealsec: premise: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		tab.Format(os.Stdout)
+	}
+}

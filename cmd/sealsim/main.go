@@ -1,0 +1,124 @@
+// Command sealsim runs the simulator-based experiments of the SEAL
+// reproduction: Table I and Figures 1, 5, 6, 7 and 8, plus the ratio and
+// engine-count ablations.
+//
+// Usage:
+//
+//	sealsim -exp table1
+//	sealsim -exp fig1
+//	sealsim -exp fig5 | fig6          # per-layer microbenchmarks
+//	sealsim -exp nets                 # Figures 7 and 8 in one pass
+//	sealsim -exp ratios               # normalized IPC vs encryption ratio
+//	sealsim -exp engines              # engines-per-controller ablation
+//	sealsim -exp all
+//	sealsim -exp fig1 -quick          # smoke-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"seal/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment: table1, fig1, fig5, fig6, nets, ratios, engines, integrity, l2sweep, counters, all")
+		quick   = flag.Bool("quick", false, "use the reduced smoke-scale configuration")
+		ratio   = flag.Float64("ratio", 0.5, "SEAL encryption ratio for figures 5-8")
+		batch   = flag.Int("batch", 1, "inference batch size for figures 5-8")
+		counter = flag.Int("counterkb", 96, "counter cache size (total KB) for Counter/SEAL-C")
+		csv     = flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+		bars    = flag.Bool("bars", false, "render ASCII bar charts instead of aligned text")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultTimingConfig()
+	if *quick {
+		cfg = exp.QuickTimingConfig()
+	}
+	cfg.Ratio = *ratio
+	cfg.Batch = *batch
+	cfg.CounterKB = *counter
+
+	emit := func(t *exp.Table) {
+		switch {
+		case *csv:
+			if err := t.CSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "sealsim: %v\n", err)
+				os.Exit(1)
+			}
+		case *bars:
+			t.Bars(os.Stdout)
+		default:
+			t.Format(os.Stdout)
+		}
+	}
+	run := func(name string, f func() (*exp.Table, error)) {
+		start := time.Now()
+		t, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		emit(t)
+		if !*csv {
+			fmt.Printf("  (%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		}
+	}
+
+	want := func(name string) bool { return *which == "all" || strings.Contains(*which, name) }
+
+	if want("table1") {
+		run("table1", func() (*exp.Table, error) { return exp.TableI(), nil })
+	}
+	if want("fig1") {
+		run("fig1", func() (*exp.Table, error) { return exp.Figure1(cfg) })
+	}
+	if want("fig5") {
+		run("fig5", func() (*exp.Table, error) { return exp.Figure5(cfg) })
+	}
+	if want("fig6") {
+		run("fig6", func() (*exp.Table, error) { return exp.Figure6(cfg) })
+	}
+	if want("nets") || want("fig7") || want("fig8") {
+		start := time.Now()
+		nr, err := exp.RunNetworks(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealsim: nets: %v\n", err)
+			os.Exit(1)
+		}
+		emit(nr.Figure7())
+		fmt.Println()
+		emit(nr.Figure8())
+		if !*csv {
+			fmt.Printf("  (nets in %.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+	if want("ratios") {
+		run("ratios", func() (*exp.Table, error) {
+			return exp.RatioSweep(cfg, []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+		})
+	}
+	if want("engines") {
+		run("engines", func() (*exp.Table, error) {
+			return exp.EngineCountAblation(cfg, []int{1, 2, 4, 8})
+		})
+	}
+	if want("integrity") {
+		run("integrity", func() (*exp.Table, error) { return exp.Integrity(cfg) })
+	}
+	if want("l2sweep") {
+		run("l2sweep", func() (*exp.Table, error) {
+			return exp.L2Sweep(cfg, []int{64, 128, 256, 512})
+		})
+	}
+	if want("counters") {
+		run("counters", func() (*exp.Table, error) {
+			return exp.CounterGranularity(cfg, []int{16, 8, 4, 1})
+		})
+	}
+}

@@ -1,0 +1,168 @@
+// Busprotect demonstrates what a memory-bus snooper actually captures
+// under SEAL: the example writes a layer's kernel rows to "DRAM" through
+// the functional counter-mode AES path, records every bus transfer, and
+// then plays the adversary trying to read weights back from the capture.
+// Plaintext (non-critical) rows are fully visible; critical rows are
+// ciphertext indistinguishable from noise.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"seal/internal/aes"
+	"seal/internal/engine"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+const lineBytes = 64
+
+// busLine is one snooped memory-bus transfer.
+type busLine struct {
+	addr uint64
+	data [lineBytes]byte
+}
+
+func main() {
+	// A small conv layer: 8 kernel rows (input channels) of 4×(3×3)
+	// weights each. Rank rows by l1-norm and encrypt the top half.
+	const outC, inC, k = 4, 8, 3
+	rng := prng.New(99)
+	weights := tensor.New(outC, inC, k, k)
+	for i := range weights.Data {
+		weights.Data[i] = float32(rng.NormFloat64())
+	}
+	norms := make([]float64, inC)
+	for c := 0; c < inC; c++ {
+		var s float64
+		for o := 0; o < outC; o++ {
+			base := (o*inC + c) * k * k
+			for _, v := range weights.Data[base : base+k*k] {
+				s += math.Abs(float64(v))
+			}
+		}
+		norms[c] = s
+	}
+	encRows := selectTopHalf(norms)
+
+	// Lay the rows out kernel-row-major, as SEAL's EMalloc does (the
+	// full layout API is exercised in the quickstart example).
+	rowBytes := outC * k * k * 4
+	rowStride := uint64((rowBytes + lineBytes - 1) / lineBytes * lineBytes)
+
+	// The memory encryption engine: AES-128 counter mode with per-line
+	// write counters, exactly the hardware datapath the simulator times.
+	cipher, err := aes.New([]byte("SEAL demo key 16"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctr := aes.NewCTR(cipher)
+	counters := engine.NewCounterCache(engine.CounterConfig{
+		DataLineBytes: lineBytes, CounterBytes: 8,
+		CacheSizeBytes: 4096, CacheWays: 4, CounterBase: 1 << 40,
+	})
+
+	// Write every row to DRAM; the snooper records each bus transfer.
+	var bus []busLine
+	dram := map[uint64][lineBytes]byte{}
+	for c := 0; c < inC; c++ {
+		row := make([]byte, rowStride)
+		for o := 0; o < outC; o++ {
+			for i := 0; i < k*k; i++ {
+				putFloat(row[(o*k*k+i)*4:], weights.At(o, c, i/k, i%k))
+			}
+		}
+		base := uint64(c) * rowStride
+		for off := 0; off < int(rowStride); off += lineBytes {
+			addr := base + uint64(off)
+			var line [lineBytes]byte
+			copy(line[:], row[off:off+lineBytes])
+			if encRows[c] {
+				counters.Lookup(addr, true) // write bumps the counter
+				ctr.XORKeyStream(line[:], line[:], addr, counters.Value(addr))
+			}
+			dram[addr] = line
+			bus = append(bus, busLine{addr: addr, data: line})
+		}
+	}
+
+	fmt.Printf("snooper captured %d bus transfers\n\n", len(bus))
+	fmt.Println("adversary reconstructing kernel rows from the capture:")
+	recovered := 0
+	for c := 0; c < inC; c++ {
+		base := uint64(c) * rowStride
+		got := make([]byte, rowStride)
+		for off := 0; off < int(rowStride); off += lineBytes {
+			line := dram[base+uint64(off)]
+			copy(got[off:], line[:])
+		}
+		// compare the first weight of the row against ground truth
+		want := weights.At(0, c, 0, 0)
+		gotW := getFloat(got)
+		ok := want == gotW
+		status := "LEAKED   (plaintext on the bus)"
+		if encRows[c] {
+			status = "PROTECTED (ciphertext on the bus)"
+			if ok {
+				log.Fatalf("row %d: encrypted row readable in plaintext!", c)
+			}
+		} else {
+			if !ok {
+				log.Fatalf("row %d: plaintext row corrupted", c)
+			}
+			recovered++
+		}
+		fmt.Printf("  row %d  l1=%.2f  w[0,0,0]=% .4f  snooped=% .4f  %s\n",
+			c, norms[c], want, gotW, status)
+	}
+	fmt.Printf("\nadversary recovered %d/%d rows — only the least-critical ones.\n", recovered, inC)
+	fmt.Println("every encrypted row has a larger l1-norm than every leaked row:")
+	fmt.Printf("  min(enc)=%.2f  max(leaked)=%.2f\n", minSel(norms, encRows, true), minSel(norms, encRows, false))
+}
+
+func selectTopHalf(norms []float64) []bool {
+	enc := make([]bool, len(norms))
+	for n := 0; n < len(norms)/2; n++ {
+		best, bestV := -1, -1.0
+		for i, v := range norms {
+			if !enc[i] && v > bestV {
+				best, bestV = i, v
+			}
+		}
+		enc[best] = true
+	}
+	return enc
+}
+
+func putFloat(b []byte, v float32) {
+	u := math.Float32bits(v)
+	b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+}
+
+func getFloat(b []byte) float32 {
+	u := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return math.Float32frombits(u)
+}
+
+// minSel returns min over selected rows when sel is true, else max over
+// unselected rows.
+func minSel(norms []float64, enc []bool, selected bool) float64 {
+	if selected {
+		m := math.Inf(1)
+		for i, v := range norms {
+			if enc[i] && v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	m := math.Inf(-1)
+	for i, v := range norms {
+		if !enc[i] && v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+// Ratiosweep walks the encryption ratio from 10% to 90% and reports the
+// two quantities the paper trades off when it settles on 50% (§III-B3):
+// the fraction of model weights an adversary receives in plaintext
+// (security side, lower is better) and the simulated inference slowdown
+// (performance side, lower is better).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seal"
+	"seal/internal/attack"
+	"seal/internal/trace"
+)
+
+func main() {
+	arch := seal.VGG16().Scale(0.25, 0)
+	model, err := seal.BuildModel(arch, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// baseline (no encryption) latency for normalization
+	base, err := simulate(model, 0, seal.ModeNone, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("VGG-16 (quarter width), SEAL-D, simulated GTX480")
+	fmt.Printf("%8s %14s %16s %14s\n", "ratio", "leakedWeights", "cipherTraffic", "slowdown")
+	for _, ratio := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		opts := seal.DefaultOptions()
+		opts.Ratio = ratio
+		plan, err := seal.NewPlan(model, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout, err := seal.NewLayout(plan, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles, err := simulate(model, ratio, seal.ModeDirect, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.0f%% %13.1f%% %15.1f%% %13.2fx\n",
+			ratio*100,
+			100*attack.LeakedFraction(plan),
+			100*layout.EncryptedFraction(),
+			cycles/base)
+	}
+	fmt.Println("\nthe paper picks 50%: past it, leaked weights stop helping the")
+	fmt.Println("adversary (figs 3-4) while the slowdown keeps growing.")
+}
+
+// simulate returns whole-inference cycles for the model under a scheme.
+func simulate(model *seal.Model, ratio float64, mode seal.EncMode, selective bool) (float64, error) {
+	opts := seal.DefaultOptions()
+	if ratio > 0 {
+		opts.Ratio = ratio
+	}
+	plan, err := seal.NewPlan(model, opts)
+	if err != nil {
+		return 0, err
+	}
+	layout, err := seal.NewLayout(plan, 1)
+	if err != nil {
+		return 0, err
+	}
+	p := trace.DefaultParams()
+	traces, err := trace.Network(p, plan, layout)
+	if err != nil {
+		return 0, err
+	}
+	var fn func(uint64) bool
+	if selective {
+		fn = layout.Protected
+	}
+	sim, err := seal.NewSim(seal.GTX480().WithMode(mode, fn))
+	if err != nil {
+		return 0, err
+	}
+	_, total, err := trace.RunNetwork(sim, traces)
+	if err != nil {
+		return 0, err
+	}
+	return total.Cycles, nil
+}

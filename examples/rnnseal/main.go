@@ -1,0 +1,74 @@
+// Rnnseal exercises the paper's closing claim of §III-A: "the proposed
+// SE scheme can be applied to other deep neural networks, e.g.,
+// recurrent neural networks, that are composed of many FC layers." The
+// example plans SEAL for an unrolled RNN and for an MLP, verifies the
+// security invariant, and simulates the bandwidth effect of streaming
+// their weight matrices — which is all an RNN inference does with its
+// kernel matrices each time step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seal"
+	"seal/internal/core"
+	"seal/internal/models"
+	"seal/internal/prng"
+	"seal/internal/trace"
+)
+
+func main() {
+	for _, arch := range []*seal.Arch{
+		models.MLPArch("MLP-4x512", 256, []int{512, 512, 512}, 10),
+		models.RNNUnrolledArch("RNN-8x256", 128, 256, 8, 10),
+	} {
+		model, err := models.Build(arch, prng.New(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := core.NewPlan(model, core.DefaultMLPOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plan.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		layout, err := core.NewLayout(plan, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d FC layers, %.1f%% of weight bytes encrypted, invariant OK\n",
+			arch.Name, arch.WeightLayerCount(), 100*plan.WeightEncFraction())
+
+		p := trace.DefaultParams()
+		traces, err := trace.Network(p, plan, layout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base float64
+		for _, sc := range []struct {
+			name string
+			mode seal.EncMode
+			fn   func(uint64) bool
+		}{
+			{"baseline", seal.ModeNone, nil},
+			{"full direct", seal.ModeDirect, nil},
+			{"SEAL", seal.ModeDirect, layout.Protected},
+		} {
+			sim, err := seal.NewSim(seal.GTX480().WithMode(sc.mode, sc.fn))
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, total, err := trace.RunNetwork(sim, traces)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == 0 {
+				base = total.Cycles
+			}
+			fmt.Printf("  %-12s %9.0f cycles (%.2fx)\n", sc.name, total.Cycles, total.Cycles/base)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module seal
+
+go 1.22

@@ -1,0 +1,212 @@
+// Package aes implements the AES-128 block cipher (FIPS-197) and CTR
+// mode from first principles. It is the functional model of the hardware
+// encryption engines in the SEAL simulator: the timing side lives in
+// internal/engine, while this package supplies the actual transformation
+// applied to bus data, so the bus-snooper example can demonstrate real
+// ciphertext on the memory bus.
+//
+// The implementation favours clarity over speed (table generation at
+// init, byte-oriented rounds). It is NOT hardened against timing side
+// channels and must not be used as a general-purpose cipher outside this
+// simulator.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+)
+
+// init derives the S-box from the multiplicative inverse in GF(2^8)
+// followed by the affine transformation, per FIPS-197 §5.1.1, rather
+// than embedding a 256-entry magic table.
+func init() {
+	// p, q walk multiplicative generator 3 and its inverse.
+	p, q := byte(1), byte(1)
+	for {
+		// p *= 3 in GF(2^8)
+		p = p ^ (p << 1) ^ mulBranch(p)
+		// q /= 3 (multiply by inverse generator 0xf6)
+		q ^= q << 1
+		q ^= q << 2
+		q ^= q << 4
+		if q&0x80 != 0 {
+			q ^= 0x09
+		}
+		// affine transformation of q (the inverse of p)
+		xformed := q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3) ^ rotl8(q, 4)
+		sbox[p] = xformed ^ 0x63
+		if p == 1 {
+			break
+		}
+	}
+	sbox[0] = 0x63
+	for i := 0; i < 256; i++ {
+		invSbox[sbox[i]] = byte(i)
+	}
+}
+
+func mulBranch(p byte) byte {
+	if p&0x80 != 0 {
+		return 0x1B
+	}
+	return 0
+}
+
+func rotl8(x byte, k uint) byte { return x<<k | x>>(8-k) }
+
+// xtime multiplies by x (i.e. 2) in GF(2^8).
+func xtime(b byte) byte { return b<<1 ^ mulBranch(b) }
+
+// gmul multiplies two field elements (used by InvMixColumns).
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is an expanded AES-128 key schedule.
+type Cipher struct {
+	rk [44]uint32 // 11 round keys × 4 words
+}
+
+// New expands a 16-byte key. It returns an error for any other length.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: invalid key size %d (want %d)", len(key), KeySize)
+	}
+	c := &Cipher{}
+	for i := 0; i < 4; i++ {
+		c.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1) << 24
+	for i := 4; i < 44; i++ {
+		t := c.rk[i-1]
+		if i%4 == 0 {
+			t = subWord(t<<8|t>>24) ^ rcon
+			rcon = uint32(xtime(byte(rcon>>24))) << 24
+		}
+		c.rk[i] = c.rk[i-4] ^ t
+	}
+	return c, nil
+}
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// state holds the 4×4 AES state in column-major order (FIPS-197 §3.4).
+type state [16]byte
+
+func (s *state) addRoundKey(rk []uint32) {
+	for c := 0; c < 4; c++ {
+		w := rk[c]
+		s[4*c] ^= byte(w >> 24)
+		s[4*c+1] ^= byte(w >> 16)
+		s[4*c+2] ^= byte(w >> 8)
+		s[4*c+3] ^= byte(w)
+	}
+}
+
+func (s *state) subBytes() {
+	for i := range s {
+		s[i] = sbox[s[i]]
+	}
+}
+
+func (s *state) invSubBytes() {
+	for i := range s {
+		s[i] = invSbox[s[i]]
+	}
+}
+
+// shiftRows rotates row r left by r positions. With column-major state,
+// row r is indices {r, r+4, r+8, r+12}.
+func (s *state) shiftRows() {
+	s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+	s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+	s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+}
+
+func (s *state) invShiftRows() {
+	s[1], s[5], s[9], s[13] = s[13], s[1], s[5], s[9]
+	s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+	s[3], s[7], s[11], s[15] = s[7], s[11], s[15], s[3]
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		all := a0 ^ a1 ^ a2 ^ a3
+		s[4*c] = a0 ^ all ^ xtime(a0^a1)
+		s[4*c+1] = a1 ^ all ^ xtime(a1^a2)
+		s[4*c+2] = a2 ^ all ^ xtime(a2^a3)
+		s[4*c+3] = a3 ^ all ^ xtime(a3^a0)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
+		s[4*c+1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
+		s[4*c+2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
+		s[4*c+3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+	}
+}
+
+// Encrypt transforms one 16-byte block dst = E_k(src). dst and src may
+// overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: Encrypt block too short")
+	}
+	var s state
+	copy(s[:], src[:BlockSize])
+	s.addRoundKey(c.rk[0:4])
+	for round := 1; round < 10; round++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(c.rk[4*round : 4*round+4])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(c.rk[40:44])
+	copy(dst[:BlockSize], s[:])
+}
+
+// Decrypt transforms one 16-byte block dst = D_k(src). dst and src may
+// overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: Decrypt block too short")
+	}
+	var s state
+	copy(s[:], src[:BlockSize])
+	s.addRoundKey(c.rk[40:44])
+	for round := 9; round >= 1; round-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(c.rk[4*round : 4*round+4])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(c.rk[0:4])
+	copy(dst[:BlockSize], s[:])
+}

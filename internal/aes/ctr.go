@@ -1,0 +1,77 @@
+package aes
+
+import "encoding/binary"
+
+// CTR implements counter-mode keystream generation as used by
+// counter-mode memory encryption: the one-time pad for a cache line is
+// AES(K, address ⊕ counter), and data is XORed with the pad. Computing
+// the pad needs only the address and counter — not the data — which is
+// why counter-mode memory encryption can overlap pad generation with the
+// DRAM access (paper §II-B, [24]).
+type CTR struct {
+	c *Cipher
+}
+
+// NewCTR wraps an expanded key for counter-mode use.
+func NewCTR(c *Cipher) *CTR { return &CTR{c: c} }
+
+// Pad computes the one-time pad for a memory block identified by its
+// line address and per-line write counter. n is the pad length in bytes
+// and may exceed one AES block; successive blocks increment the block
+// index field.
+func (ct *CTR) Pad(lineAddr uint64, counter uint64, n int) []byte {
+	pad := make([]byte, 0, n)
+	var in, out [BlockSize]byte
+	for blk := 0; len(pad) < n; blk++ {
+		binary.BigEndian.PutUint64(in[0:8], lineAddr)
+		binary.BigEndian.PutUint64(in[8:16], counter^uint64(blk)<<56)
+		ct.c.Encrypt(out[:], in[:])
+		need := n - len(pad)
+		if need > BlockSize {
+			need = BlockSize
+		}
+		pad = append(pad, out[:need]...)
+	}
+	return pad
+}
+
+// XORKeyStream encrypts (or decrypts — the operation is an involution)
+// src into dst using the pad for (lineAddr, counter). len(dst) must be
+// at least len(src).
+func (ct *CTR) XORKeyStream(dst, src []byte, lineAddr, counter uint64) {
+	pad := ct.Pad(lineAddr, counter, len(src))
+	for i := range src {
+		dst[i] = src[i] ^ pad[i]
+	}
+}
+
+// EncryptDirect applies direct (ECB-per-line with address tweak) memory
+// encryption to a cache line: each 16-byte block is encrypted
+// independently after XORing in the block address as a tweak so that
+// identical plaintext lines at different addresses produce different
+// ciphertext. Direct encryption requires the data itself before any
+// cryptographic work can start, which is why it serializes with the DRAM
+// access in the timing model.
+func EncryptDirect(c *Cipher, dst, src []byte, lineAddr uint64) {
+	if len(dst) < len(src) || len(src)%BlockSize != 0 {
+		panic("aes: EncryptDirect requires whole blocks")
+	}
+	var buf [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		copy(buf[:], src[off:off+BlockSize])
+		binary.BigEndian.PutUint64(buf[0:8], binary.BigEndian.Uint64(buf[0:8])^lineAddr^uint64(off))
+		c.Encrypt(dst[off:off+BlockSize], buf[:])
+	}
+}
+
+// DecryptDirect inverts EncryptDirect.
+func DecryptDirect(c *Cipher, dst, src []byte, lineAddr uint64) {
+	if len(dst) < len(src) || len(src)%BlockSize != 0 {
+		panic("aes: DecryptDirect requires whole blocks")
+	}
+	for off := 0; off < len(src); off += BlockSize {
+		c.Decrypt(dst[off:off+BlockSize], src[off:off+BlockSize])
+		v := binary.BigEndian.Uint64(dst[off : off+8])
+		binary.BigEndian.PutUint64(dst[off:off+8], v^lineAddr^uint64(off))
+	}
+}

@@ -1,0 +1,148 @@
+package attack
+
+import (
+	"seal/internal/dataset"
+	"seal/internal/models"
+	"seal/internal/nn"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// inputGrad computes dLoss/dInput of m for a batch under cross-entropy
+// against the given labels.
+func inputGrad(m *models.Model, x *tensor.Tensor, labels []int) (*tensor.Tensor, *tensor.Tensor) {
+	out := m.Forward(x, true)
+	_, grad := nn.SoftmaxCrossEntropy(out, labels)
+	return m.Backward(grad), out
+}
+
+// JacobianAugment implements Jacobian-based dataset augmentation
+// (Papernot et al. [20], used in §III-B1): starting from the adversary's
+// seed images, each round trains a probe substitute on victim-labeled
+// data, then emits new samples x + λ·sign(∂f/∂x) that explore the
+// victim's decision boundaries. The returned set contains the seeds plus
+// all synthesized samples, labeled by the victim.
+func JacobianAugment(victim *models.Model, seeds *dataset.Dataset, rounds int, lambda float32, probeCfg TrainConfig, rng *prng.Source) (*dataset.Dataset, error) {
+	cur := seeds.Subset(seqIdx(seeds.Len()))
+	Relabel(victim, cur)
+	for round := 0; round < rounds; round++ {
+		probe, err := models.Build(victim.Arch, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		Train(probe, cur, probeCfg, rng.Fork())
+		// synthesize: one new sample per current sample
+		next := &dataset.Dataset{
+			Images: cur.Images.Clone(),
+			Labels: append([]int(nil), cur.Labels...),
+			Cfg:    cur.Cfg,
+		}
+		const bs = 32
+		n := cur.Len()
+		per := cur.Images.Size() / n
+		for lo := 0; lo < n; lo += bs {
+			hi := lo + bs
+			if hi > n {
+				hi = n
+			}
+			x, labels := cur.Batch(lo, hi)
+			g, _ := inputGrad(probe, x, labels)
+			for i := range g.Data {
+				step := lambda
+				if g.Data[i] < 0 {
+					step = -lambda
+				}
+				next.Images.Data[(lo)*per+i] = x.Data[i] + step
+			}
+		}
+		Relabel(victim, next)
+		cur = cur.Append(next)
+	}
+	return cur, nil
+}
+
+// IFGSMConfig parameterizes iterative FGSM (Kurakin et al. [12]).
+type IFGSMConfig struct {
+	Eps   float32 // L∞ perturbation budget
+	Alpha float32 // per-iteration step
+	Iters int
+}
+
+// DefaultIFGSM matches the usual I-FGSM setting for normalized inputs.
+func DefaultIFGSM() IFGSMConfig {
+	return IFGSMConfig{Eps: 0.25, Alpha: 0.05, Iters: 10}
+}
+
+// IFGSM generates targeted adversarial examples against sub: each input
+// is perturbed within an L∞ ball to make sub predict the pre-assigned
+// incorrect target (§III-B3: "add the minimum perturbation on the input
+// to mislead the victim model to produce a pre-assigned incorrect
+// output"). Targets default to (label+1) mod classes.
+func IFGSM(sub *models.Model, x *tensor.Tensor, labels []int, cfg IFGSMConfig) (*tensor.Tensor, []int) {
+	n := x.Dim(0)
+	targets := make([]int, n)
+	classes := sub.Arch.Classes
+	for i, l := range labels {
+		targets[i] = (l + 1) % classes
+	}
+	adv := x.Clone()
+	for it := 0; it < cfg.Iters; it++ {
+		g, _ := inputGrad(sub, adv, targets)
+		// descend the target loss: x ← x − α·sign(∇x CE(f(x), target))
+		for i := range adv.Data {
+			step := cfg.Alpha
+			if g.Data[i] > 0 {
+				step = -cfg.Alpha
+			}
+			v := adv.Data[i] + step
+			// project back into the eps-ball around the original input
+			lo, hi := x.Data[i]-cfg.Eps, x.Data[i]+cfg.Eps
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			adv.Data[i] = v
+		}
+	}
+	return adv, targets
+}
+
+// AttackSuccessRate returns the fraction of adversarial examples that
+// fool m: the prediction differs from the true label (the untargeted
+// success criterion used for transferability measurements [4]).
+func AttackSuccessRate(m *models.Model, adv *tensor.Tensor, trueLabels []int) float64 {
+	preds := Predict(m, adv)
+	fooled := 0
+	for i, p := range preds {
+		if p != trueLabels[i] {
+			fooled++
+		}
+	}
+	return float64(fooled) / float64(len(preds))
+}
+
+// Transferability measures Figure 4's metric: adversarial examples are
+// generated against the substitute (where they succeed by construction
+// as iterations grow) and replayed against the victim; the returned
+// value is the fraction that also fools the victim. Only examples whose
+// true label the victim originally predicts correctly are counted, so
+// the measurement isolates the attack from baseline victim errors.
+func Transferability(victim, sub *models.Model, probe *dataset.Dataset, cfg IFGSMConfig) float64 {
+	x := probe.Images
+	labels := probe.Labels
+	// restrict to samples the victim classifies correctly
+	preds := Predict(victim, x)
+	var keep []int
+	for i, p := range preds {
+		if p == labels[i] {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return 0
+	}
+	clean := probe.Subset(keep)
+	adv, _ := IFGSM(sub, clean.Images, clean.Labels, cfg)
+	return AttackSuccessRate(victim, adv, clean.Labels)
+}

@@ -1,0 +1,369 @@
+package attack
+
+import (
+	"testing"
+
+	"seal/internal/core"
+	"seal/internal/dataset"
+	"seal/internal/models"
+	"seal/internal/prng"
+)
+
+// tinyArch is a small VGG-style net on 8×8 inputs — fast enough to train
+// in tests while exercising conv, pool and FC paths.
+func tinyArch() *models.Arch {
+	a := &models.Arch{Name: "tiny", InC: 1, InH: 8, InW: 8, Classes: 4}
+	a.Specs = []models.LayerSpec{
+		{Name: "conv1", Kind: models.KindConv, InC: 1, OutC: 6, InH: 8, InW: 8, K: 3, Stride: 1, Pad: 1},
+		{Name: "conv2", Kind: models.KindConv, InC: 6, OutC: 8, InH: 8, InW: 8, K: 3, Stride: 1, Pad: 1},
+		{Name: "pool1", Kind: models.KindPool, InC: 8, OutC: 8, InH: 8, InW: 8, K: 2, Stride: 2},
+		{Name: "conv3", Kind: models.KindConv, InC: 8, OutC: 8, InH: 4, InW: 4, K: 3, Stride: 1, Pad: 1},
+		{Name: "fc1", Kind: models.KindFC, InC: 8 * 4 * 4, OutC: 4, InH: 1, InW: 1},
+	}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// tinyGen is the single task generator shared by all sets in a test:
+// train, test and adversary data must share class prototypes.
+func tinyGen() *dataset.Generator {
+	cfg := dataset.Config{Classes: 4, C: 1, H: 8, W: 8, Noise: 0.25, Shift: 1, Freqs: 3}
+	return dataset.NewGenerator(cfg, 77)
+}
+
+func quickTrainCfg() TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	cfg.LR = 0.05
+	return cfg
+}
+
+type fixture struct {
+	victim *models.Model
+	gen    *dataset.Generator
+	train  *dataset.Dataset
+	test   *dataset.Dataset
+	rng    *prng.Source
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	f := &fixture{rng: prng.New(42), gen: tinyGen()}
+	f.train = f.gen.Sample(400)
+	f.test = f.gen.Sample(120)
+	victim, err := TrainVictim(tinyArch(), f.train, quickTrainCfg(), f.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.victim = victim
+	return f
+}
+
+func TestVictimLearns(t *testing.T) {
+	f := newFixture(t)
+	victim, test := f.victim, f.test
+	acc := Accuracy(victim, test)
+	if acc < 0.7 {
+		t.Fatalf("victim test accuracy %v, want ≥0.7 (chance 0.25)", acc)
+	}
+}
+
+func TestWhiteBoxMatchesVictim(t *testing.T) {
+	f := newFixture(t)
+	victim, test, rng := f.victim, f.test, f.rng
+	wb, err := WhiteBox(victim, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, wa := Accuracy(victim, test), Accuracy(wb, test)
+	if va != wa {
+		t.Fatalf("white-box accuracy %v != victim %v", wa, va)
+	}
+}
+
+func TestPredictMatchesAccuracy(t *testing.T) {
+	f := newFixture(t)
+	victim, test := f.victim, f.test
+	preds := Predict(victim, test.Images)
+	correct := 0
+	for i, p := range preds {
+		if p == test.Labels[i] {
+			correct++
+		}
+	}
+	if got := float64(correct) / float64(len(preds)); got != Accuracy(victim, test) {
+		t.Fatalf("Predict-based accuracy %v != Accuracy %v", got, Accuracy(victim, test))
+	}
+}
+
+func TestRelabelUsesVictimLabels(t *testing.T) {
+	f := newFixture(t)
+	victim, test := f.victim, f.test
+	ds := test.Subset(seqIdx(test.Len()))
+	Relabel(victim, ds)
+	preds := Predict(victim, ds.Images)
+	for i := range preds {
+		if ds.Labels[i] != preds[i] {
+			t.Fatal("relabel disagrees with victim predictions")
+		}
+	}
+}
+
+func TestBlackBoxWorseThanWhiteBox(t *testing.T) {
+	f := newFixture(t)
+	victim, test, rng := f.victim, f.test, f.rng
+	adv := f.gen.Sample(100) // small adversary set, as in the paper's 10% split
+	bb, err := BlackBox(victim, adv, quickTrainCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbAcc := Accuracy(victim, test)
+	bbAcc := Accuracy(bb, test)
+	if bbAcc >= wbAcc {
+		t.Fatalf("black-box accuracy %v not below white-box %v", bbAcc, wbAcc)
+	}
+	if bbAcc < 0.25 {
+		t.Fatalf("black-box accuracy %v below chance — training broken", bbAcc)
+	}
+}
+
+func sealPlan(t testing.TB, victim *models.Model, ratio float64) *core.Plan {
+	t.Helper()
+	opts := core.Options{Ratio: ratio, FullFirstConv: 1, FullLastConv: 1, FullLastFC: 1, Metric: core.MetricL1}
+	p, err := core.NewPlan(victim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSEALSubstituteFreezesLeakedWeights(t *testing.T) {
+	f := newFixture(t)
+	victim, rng := f.victim, f.rng
+	plan := sealPlan(t, victim, 0.5)
+	adv := f.gen.Sample(80)
+	sub, err := SEALSubstitute(victim, plan, adv, quickTrainCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv2 (the SE layer): unencrypted rows must equal victim values
+	lp := plan.LayerByName("conv2")
+	if lp == nil || lp.Full {
+		t.Fatal("conv2 not an SE layer")
+	}
+	vw := victim.WeightLayers[1].Conv.Weight.W
+	sw := sub.WeightLayers[1].Conv.Weight.W
+	kk := lp.Spec.K * lp.Spec.K
+	for o := 0; o < lp.Spec.OutC; o++ {
+		for c, enc := range lp.EncRows {
+			base := (o*lp.Spec.InC + c) * kk
+			same := true
+			for k := 0; k < kk; k++ {
+				if vw.Data[base+k] != sw.Data[base+k] {
+					same = false
+				}
+			}
+			if !enc && !same {
+				t.Fatalf("leaked row %d changed during fine-tuning", c)
+			}
+		}
+	}
+	ff := FrozenFraction(sub)
+	if ff <= 0 || ff >= 1 {
+		t.Fatalf("frozen fraction %v, want in (0,1)", ff)
+	}
+}
+
+func TestLeakedFractionTracksRatio(t *testing.T) {
+	f := newFixture(t)
+	victim := f.victim
+	l20 := LeakedFraction(sealPlan(t, victim, 0.2))
+	l80 := LeakedFraction(sealPlan(t, victim, 0.8))
+	if l20 <= l80 {
+		t.Fatalf("leaked fraction at ratio 0.2 (%v) not above ratio 0.8 (%v)", l20, l80)
+	}
+}
+
+func TestSEALAccuracyOrdering(t *testing.T) {
+	// The Figure 3 ordering at the extremes: a SEAL substitute with a low
+	// encryption ratio (most weights leaked) must beat the black-box
+	// substitute; at ratio 1.0 (nothing leaked beyond architecture) it
+	// should be comparable to black-box.
+	f := newFixture(t)
+	victim, test, rng := f.victim, f.test, f.rng
+	adv := f.gen.Sample(100)
+	cfg := quickTrainCfg()
+
+	bb, err := BlackBox(victim, adv, cfg, prng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := SEALSubstitute(victim, sealPlan(t, victim, 0.1), adv, cfg, prng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbAcc := Accuracy(bb, test)
+	lowAcc := Accuracy(low, test)
+	if lowAcc <= bbAcc-0.05 {
+		t.Fatalf("SEAL@10%% accuracy %v not above black-box %v", lowAcc, bbAcc)
+	}
+	_ = rng
+}
+
+func TestJacobianAugmentGrowsAndLabels(t *testing.T) {
+	f := newFixture(t)
+	victim, rng := f.victim, f.rng
+	seeds := f.gen.Sample(40)
+	probeCfg := quickTrainCfg()
+	probeCfg.Epochs = 2
+	aug, err := JacobianAugment(victim, seeds, 2, 0.1, probeCfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.Len() != 160 { // 40 → 80 → 160
+		t.Fatalf("augmented size %d, want 160", aug.Len())
+	}
+	preds := Predict(victim, aug.Images)
+	for i := range preds {
+		if aug.Labels[i] != preds[i] {
+			t.Fatal("augmented samples not victim-labeled")
+		}
+	}
+}
+
+func TestIFGSMStaysInEpsBall(t *testing.T) {
+	f := newFixture(t)
+	victim, test := f.victim, f.test
+	x, labels := test.Batch(0, 32)
+	cfg := IFGSMConfig{Eps: 0.1, Alpha: 0.02, Iters: 5}
+	adv, targets := IFGSM(victim, x, labels, cfg)
+	for i := range adv.Data {
+		d := adv.Data[i] - x.Data[i]
+		if d > cfg.Eps+1e-5 || d < -cfg.Eps-1e-5 {
+			t.Fatalf("perturbation %v exceeds eps %v", d, cfg.Eps)
+		}
+	}
+	for i, tg := range targets {
+		if tg == labels[i] {
+			t.Fatal("target equals true label")
+		}
+	}
+}
+
+func TestIFGSMFoolsItsOwnModel(t *testing.T) {
+	// Against the generating model itself, the attack should succeed on
+	// most correctly-classified samples (the paper reports 100% success
+	// on the substitute).
+	f := newFixture(t)
+	victim, test := f.victim, f.test
+	preds := Predict(victim, test.Images)
+	var keep []int
+	for i, p := range preds {
+		if p == test.Labels[i] {
+			keep = append(keep, i)
+		}
+	}
+	clean := test.Subset(keep)
+	adv, _ := IFGSM(victim, clean.Images, clean.Labels, DefaultIFGSM())
+	rate := AttackSuccessRate(victim, adv, clean.Labels)
+	if rate < 0.8 {
+		t.Fatalf("self-attack success %v, want ≥0.8", rate)
+	}
+}
+
+func TestTransferabilityWhiteBoxAboveBlackBox(t *testing.T) {
+	// Figure 4's headline ordering: white-box adversarial examples
+	// transfer (trivially — same model), black-box ones much less.
+	f := newFixture(t)
+	victim, test, rng := f.victim, f.test, f.rng
+	wb, err := WhiteBox(victim, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := f.gen.Sample(100)
+	bb, err := BlackBox(victim, adv, quickTrainCfg(), prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := test.Subset(seqIdx(80))
+	cfg := DefaultIFGSM()
+	wbT := Transferability(victim, wb, probe, cfg)
+	bbT := Transferability(victim, bb, probe, cfg)
+	if wbT <= bbT {
+		t.Fatalf("white-box transferability %v not above black-box %v", wbT, bbT)
+	}
+	if wbT < 0.8 {
+		t.Fatalf("white-box transferability %v, want ≥0.8", wbT)
+	}
+}
+
+func TestZeroRowsCountsAndZeroes(t *testing.T) {
+	f := newFixture(t)
+	w := f.victim.WeightLayers[1] // conv2: 6 input channels
+	rows := make([]bool, w.Spec.InC)
+	rows[0], rows[2] = true, true
+	n, err := ZeroRows(w, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * w.Spec.OutC * w.Spec.K * w.Spec.K
+	if n != want {
+		t.Fatalf("zeroed %d, want %d", n, want)
+	}
+	kk := w.Spec.K * w.Spec.K
+	for o := 0; o < w.Spec.OutC; o++ {
+		base := (o*w.Spec.InC + 0) * kk
+		for k := 0; k < kk; k++ {
+			if w.Conv.Weight.W.Data[base+k] != 0 {
+				t.Fatal("marked row not zeroed")
+			}
+		}
+		base = (o*w.Spec.InC + 1) * kk
+		allZero := true
+		for k := 0; k < kk; k++ {
+			if w.Conv.Weight.W.Data[base+k] != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			t.Fatal("unmarked row zeroed")
+		}
+	}
+}
+
+func TestZeroRowsRejectsBadLength(t *testing.T) {
+	f := newFixture(t)
+	if _, err := ZeroRows(f.victim.WeightLayers[1], []bool{true}); err == nil {
+		t.Fatal("bad row mask accepted")
+	}
+}
+
+func TestPruningPremise(t *testing.T) {
+	// The §III-A justification: zeroing the LOW-l1 rows (the ones SEAL
+	// leaves plaintext) must hurt accuracy less than zeroing the HIGH-l1
+	// rows (the ones SEAL encrypts).
+	f := newFixture(t)
+	full := Accuracy(f.victim, f.test)
+	low, err := PruneByImportance(f.victim, 0.3, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := PruneByImportance(f.victim, 0.3, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowAcc := Accuracy(low, f.test)
+	highAcc := Accuracy(high, f.test)
+	if lowAcc < highAcc {
+		t.Fatalf("pruning low-l1 rows (%v) hurt more than high-l1 rows (%v)", lowAcc, highAcc)
+	}
+	if lowAcc < full-0.35 {
+		t.Fatalf("low-l1 pruning collapsed accuracy: %v vs full %v", lowAcc, full)
+	}
+	// the victim must be untouched (PruneByImportance clones)
+	if Accuracy(f.victim, f.test) != full {
+		t.Fatal("pruning mutated the original model")
+	}
+}

@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"fmt"
+
+	"seal/internal/models"
+	"seal/internal/prng"
+)
+
+// ZeroRows zeroes the marked kernel rows of one weight layer in place:
+// for CONV layers the slice W[:, c, :, :] for every marked input channel
+// c, for FC layers weight column c. It returns the number of weights
+// zeroed. This is the filter-pruning operation of Li et al. [13], whose
+// finding — that small-ℓ1 rows can be removed with little accuracy loss
+// — is the premise behind SEAL's decision to leave exactly those rows
+// unencrypted (§III-A).
+func ZeroRows(w *models.WeightLayer, rows []bool) (int, error) {
+	if len(rows) != w.Spec.InC {
+		return 0, fmt.Errorf("attack: %d row marks for %d input channels", len(rows), w.Spec.InC)
+	}
+	zeroed := 0
+	if w.Conv != nil {
+		kk := w.Spec.K * w.Spec.K
+		for o := 0; o < w.Spec.OutC; o++ {
+			for c, z := range rows {
+				if !z {
+					continue
+				}
+				base := (o*w.Spec.InC + c) * kk
+				for k := 0; k < kk; k++ {
+					w.Conv.Weight.W.Data[base+k] = 0
+				}
+				zeroed += kk
+			}
+		}
+		return zeroed, nil
+	}
+	for o := 0; o < w.Spec.OutC; o++ {
+		for c, z := range rows {
+			if !z {
+				continue
+			}
+			w.FC.Weight.W.Data[o*w.Spec.InC+c] = 0
+			zeroed++
+		}
+	}
+	return zeroed, nil
+}
+
+// PruneByImportance zeroes a fraction of kernel rows in every non-
+// boundary weight layer of a clone of m, selecting either the LOWEST-ℓ1
+// rows (lowest=true: the rows SEAL leaves unencrypted) or the HIGHEST-ℓ1
+// rows (lowest=false: the rows SEAL protects). It returns the pruned
+// clone. Comparing the two accuracies validates the criticality ranking:
+// the model should survive losing its low-norm rows and collapse without
+// its high-norm ones.
+func PruneByImportance(m *models.Model, fraction float64, lowest bool, seed uint64) (*models.Model, error) {
+	clone, err := m.Clone(prng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range clone.WeightLayers {
+		norms := rowL1(w)
+		k := int(float64(len(norms))*fraction + 0.5)
+		rows := make([]bool, len(norms))
+		order := argsort(norms, lowest)
+		for _, idx := range order[:k] {
+			rows[idx] = true
+		}
+		if _, err := ZeroRows(w, rows); err != nil {
+			return nil, err
+		}
+	}
+	return clone, nil
+}
+
+func rowL1(w *models.WeightLayer) []float64 {
+	norms := make([]float64, w.Spec.InC)
+	if w.Conv != nil {
+		kk := w.Spec.K * w.Spec.K
+		for o := 0; o < w.Spec.OutC; o++ {
+			for c := 0; c < w.Spec.InC; c++ {
+				base := (o*w.Spec.InC + c) * kk
+				for _, v := range w.Conv.Weight.W.Data[base : base+kk] {
+					if v < 0 {
+						v = -v
+					}
+					norms[c] += float64(v)
+				}
+			}
+		}
+		return norms
+	}
+	for o := 0; o < w.Spec.OutC; o++ {
+		for c := 0; c < w.Spec.InC; c++ {
+			v := w.FC.Weight.W.Data[o*w.Spec.InC+c]
+			if v < 0 {
+				v = -v
+			}
+			norms[c] += float64(v)
+		}
+	}
+	return norms
+}
+
+// argsort returns row indices sorted ascending (lowest=true) or
+// descending by norm.
+func argsort(norms []float64, ascending bool) []int {
+	idx := make([]int, len(norms))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := norms[idx[j-1]], norms[idx[j]]
+			if (ascending && a > b) || (!ascending && a < b) {
+				idx[j-1], idx[j] = idx[j], idx[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}

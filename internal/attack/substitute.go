@@ -1,0 +1,159 @@
+package attack
+
+import (
+	"fmt"
+
+	"seal/internal/core"
+	"seal/internal/dataset"
+	"seal/internal/models"
+	"seal/internal/nn"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// WhiteBox returns the adversary's model when the accelerator uses no
+// memory encryption: an exact copy of the victim (§III-B1).
+func WhiteBox(victim *models.Model, rng *prng.Source) (*models.Model, error) {
+	return victim.Clone(rng)
+}
+
+// BlackBox trains a substitute from scratch: the adversary knows the
+// architecture (via side channels) but no weights, and trains on its own
+// victim-labeled dataset (§III-B1).
+func BlackBox(victim *models.Model, advData *dataset.Dataset, cfg TrainConfig, rng *prng.Source) (*models.Model, error) {
+	sub, err := models.Build(victim.Arch, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("attack: building black-box substitute: %w", err)
+	}
+	labeled := advData.Subset(seqIdx(advData.Len()))
+	Relabel(victim, labeled)
+	Train(sub, labeled, cfg, rng.Fork())
+	return sub, nil
+}
+
+// SEALSubstitute builds the substitute an adversary obtains against a
+// SEAL-protected accelerator: kernel rows the plan leaves unencrypted
+// are copied from the victim and frozen; encrypted rows (and all other
+// parameters) are re-initialized and fine-tuned on the adversary's
+// victim-labeled data (§III-B1: "initializes an NN model with known
+// weight parameters and fills random numbers ... for unknown weight
+// parameters", then "keeps the known weight parameters unchanged and
+// fine-tunes unknown weight parameters").
+func SEALSubstitute(victim *models.Model, plan *core.Plan, advData *dataset.Dataset, cfg TrainConfig, rng *prng.Source) (*models.Model, error) {
+	if len(plan.Layers) != len(victim.WeightLayers) {
+		return nil, fmt.Errorf("attack: plan has %d layers, victim %d", len(plan.Layers), len(victim.WeightLayers))
+	}
+	sub, err := models.Build(victim.Arch, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("attack: building SEAL substitute: %w", err)
+	}
+	for i, lp := range plan.Layers {
+		vw := victim.WeightLayers[i]
+		sw := sub.WeightLayers[i]
+		if vw.Name != lp.Name || sw.Name != lp.Name {
+			return nil, fmt.Errorf("attack: layer order mismatch at %s", lp.Name)
+		}
+		leakRow(vw, sw, lp.EncRows)
+	}
+	labeled := advData.Subset(seqIdx(advData.Len()))
+	Relabel(victim, labeled)
+	Train(sub, labeled, cfg, rng.Fork())
+	return sub, nil
+}
+
+// leakRow copies kernel rows the plan leaves in plaintext from victim to
+// substitute and freezes them; encrypted rows keep the substitute's
+// fresh random initialization and stay trainable.
+func leakRow(vw, sw *models.WeightLayer, encRows []bool) {
+	if vw.Conv != nil {
+		outC, inC := vw.Spec.OutC, vw.Spec.InC
+		kk := vw.Spec.K * vw.Spec.K
+		mask := tensor.New(outC, inC, vw.Spec.K, vw.Spec.K)
+		for o := 0; o < outC; o++ {
+			for c := 0; c < inC; c++ {
+				base := (o*inC + c) * kk
+				if encRows[c] {
+					// unknown: trainable
+					for k := 0; k < kk; k++ {
+						mask.Data[base+k] = 1
+					}
+				} else {
+					// leaked: copy true value, frozen (mask stays 0)
+					copy(sw.Conv.Weight.W.Data[base:base+kk], vw.Conv.Weight.W.Data[base:base+kk])
+				}
+			}
+		}
+		sw.Conv.Weight.Mask = mask
+		return
+	}
+	out, in := vw.Spec.OutC, vw.Spec.InC
+	mask := tensor.New(out, in)
+	for o := 0; o < out; o++ {
+		for c := 0; c < in; c++ {
+			idx := o*in + c
+			if encRows[c] {
+				mask.Data[idx] = 1
+			} else {
+				sw.FC.Weight.W.Data[idx] = vw.FC.Weight.W.Data[idx]
+			}
+		}
+	}
+	sw.FC.Weight.Mask = mask
+}
+
+// LeakedFraction reports the fraction of weight elements the adversary
+// received in plaintext under the plan — a sanity metric for reports.
+func LeakedFraction(plan *core.Plan) float64 {
+	var leaked, total int64
+	for _, lp := range plan.Layers {
+		perRow := int64(lp.Spec.OutC)
+		if lp.Spec.Kind == models.KindConv {
+			perRow *= int64(lp.Spec.K * lp.Spec.K)
+		}
+		for _, enc := range lp.EncRows {
+			if !enc {
+				leaked += perRow
+			}
+			total += perRow
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(leaked) / float64(total)
+}
+
+// FrozenFraction reports the fraction of conv/fc weight elements whose
+// freeze mask pins them — used to verify substitutes honour the leak.
+func FrozenFraction(m *models.Model) float64 {
+	var frozen, total int64
+	for _, w := range m.WeightLayers {
+		var p *nn.Param
+		if w.Conv != nil {
+			p = w.Conv.Weight
+		} else {
+			p = w.FC.Weight
+		}
+		total += int64(p.W.Size())
+		if p.Mask == nil {
+			continue
+		}
+		for _, v := range p.Mask.Data {
+			if v == 0 {
+				frozen++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(frozen) / float64(total)
+}
+
+func seqIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,153 @@
+// Package attack implements the paper's security-evaluation machinery
+// (§III-B): training of victim models, the three kinds of substitute
+// models an adversary can build (white-box, black-box, SEAL), Jacobian-
+// based dataset augmentation for the adversary's query set, I-FGSM
+// adversarial example generation, and the IP-stealing / transferability
+// metrics of Figures 3 and 4.
+package attack
+
+import (
+	"fmt"
+
+	"seal/internal/dataset"
+	"seal/internal/models"
+	"seal/internal/nn"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// TrainConfig controls SGD training runs.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	// LRDecayAt halves the learning rate at these epoch indices.
+	LRDecayAt []int
+	// ClipNorm caps the global gradient norm (0 disables).
+	ClipNorm float64
+}
+
+// DefaultTrainConfig returns settings that train the width-scaled
+// models stably on the synthetic dataset.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:    6,
+		BatchSize: 32,
+		LR:        0.05,
+		Momentum:  0.9,
+		ClipNorm:  5,
+	}
+}
+
+// TrainStats reports a training run.
+type TrainStats struct {
+	Epochs     int
+	FinalLoss  float64
+	FinalTrain float64 // accuracy on the training set
+}
+
+// Train runs SGD on m over ds. The freeze masks installed on m's
+// parameters are honoured (SEAL substitute fine-tuning relies on this).
+func Train(m *models.Model, ds *dataset.Dataset, cfg TrainConfig, rng *prng.Source) TrainStats {
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	n := ds.Len()
+	bs := cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, at := range cfg.LRDecayAt {
+			if at == epoch {
+				opt.LR /= 2
+			}
+		}
+		ds.Shuffle(rng)
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo+bs <= n; lo += bs {
+			x, labels := ds.Batch(lo, lo+bs)
+			out := m.Forward(x, true)
+			loss, grad := nn.SoftmaxCrossEntropy(out, labels)
+			m.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(m.Params(), cfg.ClipNorm)
+			}
+			opt.Step(m.Params())
+			epochLoss += loss
+			batches++
+		}
+		if batches > 0 {
+			lastLoss = epochLoss / float64(batches)
+		}
+	}
+	return TrainStats{Epochs: cfg.Epochs, FinalLoss: lastLoss, FinalTrain: Accuracy(m, ds)}
+}
+
+// Accuracy evaluates classification accuracy of m on ds (eval mode),
+// processing in bounded batches to limit memory.
+func Accuracy(m *models.Model, ds *dataset.Dataset) float64 {
+	const bs = 64
+	n := ds.Len()
+	correct := 0
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		x, labels := ds.Batch(lo, hi)
+		out := m.Forward(x, false)
+		k := out.Dim(1)
+		for i := range labels {
+			row := tensor.FromSlice(out.Data[i*k:(i+1)*k], k)
+			if row.ArgMax() == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// Predict returns the victim's label for every sample — the black-box
+// oracle interface the adversary queries (§II-A: the adversary "can feed
+// his/her own images into the target DL accelerator and obtain the
+// output label").
+func Predict(m *models.Model, x *tensor.Tensor) []int {
+	const bs = 64
+	n := x.Dim(0)
+	per := x.Size() / n
+	out := make([]int, n)
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		batch := tensor.FromSlice(x.Data[lo*per:hi*per], append([]int{hi - lo}, x.Shape[1:]...)...)
+		logits := m.Forward(batch, false)
+		k := logits.Dim(1)
+		for i := 0; i < hi-lo; i++ {
+			row := tensor.FromSlice(logits.Data[i*k:(i+1)*k], k)
+			out[lo+i] = row.ArgMax()
+		}
+	}
+	return out
+}
+
+// Relabel replaces ds's labels with the victim's predictions, modelling
+// the adversary labeling queries through the accelerator.
+func Relabel(victim *models.Model, ds *dataset.Dataset) {
+	labels := Predict(victim, ds.Images)
+	copy(ds.Labels, labels)
+}
+
+// TrainVictim builds and trains a fresh victim model.
+func TrainVictim(arch *models.Arch, ds *dataset.Dataset, cfg TrainConfig, rng *prng.Source) (*models.Model, error) {
+	m, err := models.Build(arch, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("attack: building victim: %w", err)
+	}
+	Train(m, ds, cfg, rng.Fork())
+	return m, nil
+}

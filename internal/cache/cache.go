@@ -1,0 +1,187 @@
+// Package cache models a set-associative, write-back, LRU cache. The GPU
+// simulator instantiates it twice: as the per-partition L2 slice and as
+// the on-chip counter cache of counter-mode memory encryption (paper
+// §II-B adds a counter cache and sweeps its size in Figure 1).
+package cache
+
+import "fmt"
+
+// Config describes a cache instance.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line (block) size; must be a power of two
+	Ways      int // associativity
+}
+
+// Validate checks structural invariants.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a positive power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive associativity %d", c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible into %d-way sets of %d-byte lines", c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	// Set counts need not be powers of two: the paper sweeps counter
+	// caches of 24/96/384/1536 KB, which index by modulo.
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+type way struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Stats counts cache events since construction or Reset.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a set-associative LRU cache model. It tracks tags only (no
+// data payloads — the simulator moves data separately).
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	clock     uint64
+	lineShift uint
+	nsets     uint64
+	stats     Stats
+}
+
+// New constructs a cache; it panics on an invalid configuration since
+// configurations are static experiment parameters.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	c := &Cache{cfg: cfg, sets: make([][]way, nsets), nsets: uint64(nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	for shift := uint(0); ; shift++ {
+		if 1<<shift == cfg.LineBytes {
+			c.lineShift = shift
+			break
+		}
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Writeback is true when the access evicted a dirty line, which costs
+	// an extra memory write in the timing model. EvictedAddr is the line
+	// address of the victim.
+	Writeback   bool
+	EvictedAddr uint64
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	line := addr >> c.lineShift
+	return line % c.nsets, line / c.nsets
+}
+
+// Access performs a read (write=false) or write (write=true) to addr,
+// allocating on miss (write-allocate) and returning what happened.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.clock++
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// choose victim: first invalid way, else LRU
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	res := Result{}
+	if ways[victim].valid {
+		c.stats.Evictions++
+		res.EvictedAddr = (ways[victim].tag*c.nsets + set) << c.lineShift
+		if ways[victim].dirty {
+			c.stats.Writebacks++
+			res.Writeback = true
+		}
+	}
+	ways[victim] = way{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	return res
+}
+
+// Probe reports whether addr is resident without touching LRU state or
+// statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			dirty := ways[i].dirty
+			ways[i] = way{}
+			return dirty
+		}
+	}
+	return false
+}
+
+// Stats returns counters accumulated since the last Reset.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"seal/internal/aes"
+	"seal/internal/models"
+)
+
+// MemoryImage is the functional (byte-accurate) view of a planned
+// network's DRAM contents: every region of the layout materialized, with
+// the plan's ciphertext blocks actually encrypted under AES-CTR. It is
+// what a physical bus snooper captures, and the executable counterpart
+// of the timing simulator's Protected predicate.
+type MemoryImage struct {
+	Layout *Layout
+	bytes  map[uint64][]byte // region base -> backing bytes
+	ctr    *aes.CTR
+	// counters holds the per-line write counter used for the one-time
+	// pads (a fresh image has counter 1 everywhere: one write).
+	counter uint64
+}
+
+// NewMemoryImage lays the model's weights into the layout's regions and
+// encrypts exactly the blocks the plan marks, using AES-128 CTR keyed by
+// key. Feature-map and scratch regions are zero-initialized (they hold
+// run-time data); weight regions hold the model's real parameters in the
+// kernel-row-major order the layout defines.
+func NewMemoryImage(layout *Layout, m *models.Model, key []byte) (*MemoryImage, error) {
+	cipher, err := aes.New(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.WeightLayers) != len(layout.Plan.Layers) {
+		return nil, fmt.Errorf("core: model has %d weight layers, plan %d", len(m.WeightLayers), len(layout.Plan.Layers))
+	}
+	img := &MemoryImage{Layout: layout, bytes: map[uint64][]byte{}, ctr: aes.NewCTR(cipher), counter: 1}
+	for _, r := range layout.Regions() {
+		img.bytes[r.Base] = make([]byte, r.Size)
+	}
+	for i, lp := range layout.Plan.Layers {
+		w := m.WeightLayers[i]
+		r := layout.Region("w:" + lp.Name)
+		if r == nil {
+			return nil, fmt.Errorf("core: missing weights region for %s", lp.Name)
+		}
+		if err := img.storeWeights(r, w); err != nil {
+			return nil, err
+		}
+	}
+	img.encryptMarked()
+	return img, nil
+}
+
+// storeWeights serializes a layer's weights kernel-row-major into the
+// region's plaintext bytes.
+func (img *MemoryImage) storeWeights(r *Region, w *models.WeightLayer) error {
+	buf := img.bytes[r.Base]
+	spec := w.Spec
+	if w.Conv != nil {
+		kk := spec.K * spec.K
+		for c := 0; c < spec.InC; c++ {
+			base := uint64(c) * r.BlockBytes
+			for o := 0; o < spec.OutC; o++ {
+				for k := 0; k < kk; k++ {
+					v := w.Conv.Weight.W.Data[(o*spec.InC+c)*kk+k]
+					off := base + uint64(o*kk+k)*4
+					binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+				}
+			}
+		}
+		return nil
+	}
+	for c := 0; c < spec.InC; c++ {
+		base := uint64(c) * r.BlockBytes
+		for o := 0; o < spec.OutC; o++ {
+			v := w.FC.Weight.W.Data[o*spec.InC+c]
+			binary.LittleEndian.PutUint32(buf[base+uint64(o)*4:], math.Float32bits(v))
+		}
+	}
+	return nil
+}
+
+// encryptMarked applies the counter-mode pad to every line the layout
+// marks as ciphertext.
+func (img *MemoryImage) encryptMarked() {
+	for _, r := range img.Layout.Regions() {
+		buf := img.bytes[r.Base]
+		for off := uint64(0); off < r.Size; off += LineBytes {
+			if r.Encrypted(off) {
+				addr := r.Base + off
+				img.ctr.XORKeyStream(buf[off:off+LineBytes], buf[off:off+LineBytes], addr, img.counter)
+			}
+		}
+	}
+}
+
+// Snoop returns the 64-byte line a bus snooper sees at addr (ciphertext
+// where the plan encrypts, plaintext elsewhere). It returns nil for
+// addresses outside the layout.
+func (img *MemoryImage) Snoop(addr uint64) []byte {
+	r := img.Layout.find(addr)
+	if r == nil {
+		return nil
+	}
+	line := (addr - r.Base) / LineBytes * LineBytes
+	out := make([]byte, LineBytes)
+	copy(out, img.bytes[r.Base][line:line+LineBytes])
+	return out
+}
+
+// ReadWeight decrypts (as the on-chip memory controller would) and
+// returns the weight value for (layer, outIdx, inChannel, k). k indexes
+// within the K×K kernel for CONV layers and must be 0 for FC layers.
+func (img *MemoryImage) ReadWeight(layerIdx, outIdx, inChannel, k int) (float32, error) {
+	lp := img.Layout.Plan.Layers[layerIdx]
+	r := img.Layout.Region("w:" + lp.Name)
+	if r == nil {
+		return 0, fmt.Errorf("core: missing weights region for %s", lp.Name)
+	}
+	kk := lp.Spec.K * lp.Spec.K
+	var off uint64
+	if lp.Spec.Kind == models.KindConv {
+		off = uint64(inChannel)*r.BlockBytes + uint64(outIdx*kk+k)*4
+	} else {
+		off = uint64(inChannel)*r.BlockBytes + uint64(outIdx)*4
+	}
+	lineOff := off / LineBytes * LineBytes
+	line := make([]byte, LineBytes)
+	copy(line, img.bytes[r.Base][lineOff:lineOff+LineBytes])
+	if r.Encrypted(off) {
+		img.ctr.XORKeyStream(line, line, r.Base+lineOff, img.counter)
+	}
+	bits := binary.LittleEndian.Uint32(line[off-lineOff:])
+	return math.Float32frombits(bits), nil
+}
+
+// SnoopWeight returns the value an adversary reconstructs for the same
+// coordinates directly from the bus capture — without the key. For
+// plaintext rows this equals the true weight; for encrypted rows it is
+// keystream garbage.
+func (img *MemoryImage) SnoopWeight(layerIdx, outIdx, inChannel, k int) (float32, error) {
+	lp := img.Layout.Plan.Layers[layerIdx]
+	r := img.Layout.Region("w:" + lp.Name)
+	if r == nil {
+		return 0, fmt.Errorf("core: missing weights region for %s", lp.Name)
+	}
+	kk := lp.Spec.K * lp.Spec.K
+	var off uint64
+	if lp.Spec.Kind == models.KindConv {
+		off = uint64(inChannel)*r.BlockBytes + uint64(outIdx*kk+k)*4
+	} else {
+		off = uint64(inChannel)*r.BlockBytes + uint64(outIdx)*4
+	}
+	bits := binary.LittleEndian.Uint32(img.bytes[r.Base][off:])
+	return math.Float32frombits(bits), nil
+}
+
+// SnoopReport summarizes what the plan leaks for one layer.
+type SnoopReport struct {
+	Layer         string
+	RowsLeaked    int
+	RowsProtected int
+	WeightsLeaked int64
+	WeightsTotal  int64
+}
+
+// Audit verifies the image against the model and produces per-layer
+// snoop reports: every plaintext-row weight must be bus-recoverable
+// bit-exactly, and every encrypted-row weight must decrypt correctly
+// with the key while differing on the bus. It is both the functional
+// correctness check of the EMalloc path and the leak accounting.
+func (img *MemoryImage) Audit(m *models.Model) ([]SnoopReport, error) {
+	var reports []SnoopReport
+	for i, lp := range img.Layout.Plan.Layers {
+		w := m.WeightLayers[i]
+		spec := w.Spec
+		kk := spec.K * spec.K
+		if spec.Kind == models.KindFC {
+			kk = 1
+		}
+		rep := SnoopReport{Layer: lp.Name}
+		var mismatchEnc bool
+		for c, enc := range lp.EncRows {
+			if enc {
+				rep.RowsProtected++
+			} else {
+				rep.RowsLeaked++
+				rep.WeightsLeaked += int64(spec.OutC * kk)
+			}
+			rep.WeightsTotal += int64(spec.OutC * kk)
+			for o := 0; o < spec.OutC; o++ {
+				for k := 0; k < kk; k++ {
+					truth := weightAt(w, o, c, k)
+					dec, err := img.ReadWeight(i, o, c, k)
+					if err != nil {
+						return nil, err
+					}
+					if dec != truth {
+						return nil, fmt.Errorf("core: %s (%d,%d,%d) decrypts to %v, want %v", lp.Name, o, c, k, dec, truth)
+					}
+					snooped, err := img.SnoopWeight(i, o, c, k)
+					if err != nil {
+						return nil, err
+					}
+					if !enc && snooped != truth {
+						return nil, fmt.Errorf("core: %s plaintext row %d not bus-recoverable", lp.Name, c)
+					}
+					if enc && snooped != truth {
+						mismatchEnc = true
+					}
+				}
+			}
+		}
+		if rep.RowsProtected > 0 && !mismatchEnc {
+			return nil, fmt.Errorf("core: %s encrypted rows identical on the bus — encryption missing", lp.Name)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+func weightAt(w *models.WeightLayer, o, c, k int) float32 {
+	if w.Conv != nil {
+		kk := w.Spec.K * w.Spec.K
+		return w.Conv.Weight.W.Data[(o*w.Spec.InC+c)*kk+k]
+	}
+	return w.FC.Weight.W.Data[o*w.Spec.InC+c]
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"seal/internal/models"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func buildImage(t testing.TB, ratio float64) (*MemoryImage, *models.Model) {
+	t.Helper()
+	m := buildSmall(t, models.VGG16Arch(), 31)
+	opts := DefaultOptions()
+	opts.Ratio = ratio
+	p := mustPlan(t, m, opts)
+	l := mustLayout(t, p, 1)
+	img, err := NewMemoryImage(l, m, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, m
+}
+
+func TestMemoryImageAuditPasses(t *testing.T) {
+	img, m := buildImage(t, 0.5)
+	reports, err := img.Audit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(img.Layout.Plan.Layers) {
+		t.Fatalf("reports for %d layers, want %d", len(reports), len(img.Layout.Plan.Layers))
+	}
+	var leaked, total int64
+	for _, r := range reports {
+		leaked += r.WeightsLeaked
+		total += r.WeightsTotal
+	}
+	frac := float64(leaked) / float64(total)
+	// boundary layers leak nothing; SE layers leak half → well under 50%
+	if frac <= 0.2 || frac >= 0.5 {
+		t.Fatalf("leaked weight fraction %v out of expected band", frac)
+	}
+}
+
+func TestMemoryImageSnoopDiffersOnEncryptedLines(t *testing.T) {
+	img, _ := buildImage(t, 0.5)
+	lp := img.Layout.Plan.LayerByName("conv3_2")
+	r := img.Layout.Region("w:" + lp.Name)
+	var sawEnc, sawPlain bool
+	for c, enc := range lp.EncRows {
+		addr := r.Base + uint64(c)*r.BlockBytes
+		snooped := img.Snoop(addr)
+		if snooped == nil {
+			t.Fatal("snoop returned nil inside region")
+		}
+		if enc {
+			sawEnc = true
+		} else {
+			sawPlain = true
+		}
+	}
+	if !sawEnc || !sawPlain {
+		t.Fatal("conv3_2 not mixed at 50% ratio")
+	}
+}
+
+func TestMemoryImageSnoopOutsideLayout(t *testing.T) {
+	img, _ := buildImage(t, 0.5)
+	if img.Snoop(img.Layout.End()+1<<20) != nil {
+		t.Fatal("snoop outside layout returned data")
+	}
+}
+
+func TestMemoryImageKeyMatters(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 32)
+	p := mustPlan(t, m, DefaultOptions())
+	l := mustLayout(t, p, 1)
+	a, err := NewMemoryImage(l, m, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMemoryImage(l, m, []byte("fedcba9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := p.LayerByName("conv3_2")
+	r := l.Region("w:" + lp.Name)
+	encRow := -1
+	for c, enc := range lp.EncRows {
+		if enc {
+			encRow = c
+			break
+		}
+	}
+	addr := r.Base + uint64(encRow)*r.BlockBytes
+	if bytes.Equal(a.Snoop(addr), b.Snoop(addr)) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+	// plaintext rows are key-independent
+	plainRow := -1
+	for c, enc := range lp.EncRows {
+		if !enc {
+			plainRow = c
+			break
+		}
+	}
+	addr = r.Base + uint64(plainRow)*r.BlockBytes
+	if !bytes.Equal(a.Snoop(addr), b.Snoop(addr)) {
+		t.Fatal("plaintext rows differ across keys")
+	}
+}
+
+func TestMemoryImageFullEncryptionLeaksNothing(t *testing.T) {
+	m := buildSmall(t, models.ResNet18Arch(), 33)
+	opts := DefaultOptions()
+	opts.Ratio = 1.0
+	p := mustPlan(t, m, opts)
+	l := mustLayout(t, p, 1)
+	img, err := NewMemoryImage(l, m, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := img.Audit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.WeightsLeaked != 0 {
+			t.Fatalf("%s leaked %d weights at ratio 1.0", r.Layer, r.WeightsLeaked)
+		}
+	}
+}
+
+func TestMemoryImageRejectsBadKey(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 34)
+	p := mustPlan(t, m, DefaultOptions())
+	l := mustLayout(t, p, 1)
+	if _, err := NewMemoryImage(l, m, []byte("short")); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}

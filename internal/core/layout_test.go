@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"seal/internal/models"
+)
+
+func TestAddressSpaceBasics(t *testing.T) {
+	a := NewAddressSpace(0)
+	plain := a.Malloc("p", 100)
+	enc := a.EMalloc("e", 100)
+	if plain.Size%LineBytes != 0 || enc.Size%LineBytes != 0 {
+		t.Fatal("regions not line-aligned")
+	}
+	if plain.Encrypted(0) {
+		t.Fatal("Malloc region encrypted")
+	}
+	if !enc.Encrypted(0) || !enc.Encrypted(99) {
+		t.Fatal("EMalloc region not encrypted")
+	}
+	if plain.Base+plain.Size > enc.Base {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestEMallocBlocks(t *testing.T) {
+	a := NewAddressSpace(0)
+	r := a.EMallocBlocks("w", RegionWeights, 100, []bool{true, false, true})
+	if r.BlockBytes != 128 { // 100 aligned to 64
+		t.Fatalf("block stride %d, want 128", r.BlockBytes)
+	}
+	if r.Size != 3*128 {
+		t.Fatalf("size %d", r.Size)
+	}
+	if !r.Encrypted(0) || r.Encrypted(128) || !r.Encrypted(256) {
+		t.Fatal("per-block encryption wrong")
+	}
+	if r.EncryptedBytes() != 256 {
+		t.Fatalf("encrypted bytes %d, want 256", r.EncryptedBytes())
+	}
+}
+
+func mustLayout(t testing.TB, p *Plan, batch int) *Layout {
+	t.Helper()
+	l, err := NewLayout(p, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLayoutRegionsExist(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 20)
+	p := mustPlan(t, m, DefaultOptions())
+	l := mustLayout(t, p, 1)
+	if l.Region("fmap:input") == nil {
+		t.Fatal("input region missing")
+	}
+	for _, lp := range p.Layers {
+		if l.Region("w:"+lp.Name) == nil {
+			t.Fatalf("weights region for %s missing", lp.Name)
+		}
+		if l.Region("fmap:"+lp.Name) == nil {
+			t.Fatalf("fmap region for %s missing", lp.Name)
+		}
+		if lp.Spec.Kind == models.KindConv && l.Region("cols:"+lp.Name) == nil {
+			t.Fatalf("cols region for %s missing", lp.Name)
+		}
+	}
+}
+
+func TestLayoutProtectedFollowsPlan(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 21)
+	p := mustPlan(t, m, DefaultOptions())
+	l := mustLayout(t, p, 1)
+	lp := p.LayerByName("conv3_2")
+	w := l.Region("w:" + lp.Name)
+	for row, enc := range lp.EncRows {
+		addr := w.Base + uint64(row)*w.BlockBytes
+		if l.Protected(addr) != enc {
+			t.Fatalf("row %d: Protected=%v, plan=%v", row, l.Protected(addr), enc)
+		}
+		// middle of the row block must agree too
+		if l.Protected(addr+w.BlockBytes/2) != enc {
+			t.Fatalf("row %d midpoint disagrees", row)
+		}
+	}
+	fm := l.Region("fmap:" + lp.Name)
+	for ch, enc := range lp.OutEnc {
+		addr := fm.Base + uint64(ch)*fm.BlockBytes
+		if l.Protected(addr) != enc {
+			t.Fatalf("fmap channel %d: Protected=%v, plan=%v", ch, l.Protected(addr), enc)
+		}
+	}
+	cols := l.Region("cols:" + lp.Name)
+	for ch, enc := range lp.InEnc {
+		addr := cols.Base + uint64(ch)*cols.BlockBytes
+		if l.Protected(addr) != enc {
+			t.Fatalf("cols channel %d: Protected=%v, plan=%v", ch, l.Protected(addr), enc)
+		}
+	}
+}
+
+func TestLayoutInputPlainAndOutsideUnprotected(t *testing.T) {
+	m := buildSmall(t, models.ResNet18Arch(), 22)
+	p := mustPlan(t, m, DefaultOptions())
+	l := mustLayout(t, p, 2)
+	in := l.Region("fmap:input")
+	if l.Protected(in.Base) || l.Protected(in.Base+in.Size-1) {
+		t.Fatal("input image protected")
+	}
+	if l.Protected(l.End() + 4096) {
+		t.Fatal("address beyond layout protected")
+	}
+}
+
+func TestLayoutEncryptedFractionTracksRatio(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 23)
+	low, high := DefaultOptions(), DefaultOptions()
+	low.Ratio, high.Ratio = 0.1, 0.9
+	fLow := mustLayout(t, mustPlan(t, m, low), 1).EncryptedFraction()
+	fHigh := mustLayout(t, mustPlan(t, m, high), 1).EncryptedFraction()
+	if fLow >= fHigh {
+		t.Fatalf("encrypted fraction not increasing: %v vs %v", fLow, fHigh)
+	}
+	if fLow <= 0 || fHigh >= 1 {
+		t.Fatalf("fractions out of range: %v %v", fLow, fHigh)
+	}
+}
+
+func TestLayoutBatchScalesRegions(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 24)
+	p := mustPlan(t, m, DefaultOptions())
+	l1 := mustLayout(t, p, 1)
+	l4 := mustLayout(t, p, 4)
+	f1 := l1.Region("fmap:conv1_1")
+	f4 := l4.Region("fmap:conv1_1")
+	if f4.Size < 3*f1.Size {
+		t.Fatalf("batch-4 fmap %d not ≈4× batch-1 %d", f4.Size, f1.Size)
+	}
+	// weights do not scale with batch
+	w1 := l1.Region("w:conv1_1")
+	w4 := l4.Region("w:conv1_1")
+	if w1.Size != w4.Size {
+		t.Fatal("weights region scaled with batch")
+	}
+}
+
+func TestLayoutRejectsBadBatch(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 25)
+	p := mustPlan(t, m, DefaultOptions())
+	if _, err := NewLayout(p, 0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+}
+
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	m := buildSmall(t, models.ResNet34Arch(), 26)
+	p := mustPlan(t, m, DefaultOptions())
+	l := mustLayout(t, p, 1)
+	regs := l.Regions()
+	for i := 1; i < len(regs); i++ {
+		if regs[i-1].Base+regs[i-1].Size > regs[i].Base {
+			t.Fatalf("regions %s and %s overlap", regs[i-1].Name, regs[i].Name)
+		}
+	}
+}

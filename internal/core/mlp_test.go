@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"seal/internal/models"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+func buildMLP(t testing.TB) *models.Model {
+	t.Helper()
+	m, err := models.Build(models.MLPArch("mlp", 32, []int{64, 48, 40}, 10), prng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMLPPlanBoundaries(t *testing.T) {
+	m := buildMLP(t)
+	p := mustPlan(t, m, DefaultMLPOptions())
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Layers[0].Full {
+		t.Fatal("first FC not fully encrypted under MLP options")
+	}
+	last := p.Layers[len(p.Layers)-1]
+	if !last.Full {
+		t.Fatal("classifier not fully encrypted")
+	}
+	// middle layers follow the SE ratio
+	mid := p.Layers[1]
+	if mid.Full {
+		t.Fatal("middle FC unexpectedly full")
+	}
+	want := int(float64(mid.Spec.InC)*0.5 + 0.5)
+	if mid.EncRowCount() != want {
+		t.Fatalf("middle FC enc rows %d, want %d", mid.EncRowCount(), want)
+	}
+}
+
+func TestMLPPlanWithoutFirstBoundaryFailsVerify(t *testing.T) {
+	// An SE-encrypted first FC with a public input and partially
+	// plaintext output would let the adversary solve the weights; Verify
+	// must reject that configuration.
+	m := buildMLP(t)
+	opts := Options{Ratio: 0.5, Metric: MetricL1} // no boundary rules at all
+	p := mustPlan(t, m, opts)
+	if err := p.Verify(); err == nil {
+		t.Fatal("Verify accepted a solvable first layer")
+	}
+}
+
+func TestMLPLayoutAndImage(t *testing.T) {
+	m := buildMLP(t)
+	p := mustPlan(t, m, DefaultMLPOptions())
+	l := mustLayout(t, p, 4)
+	img, err := NewMemoryImage(l, m, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := img.Audit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].WeightsLeaked != 0 {
+		t.Fatal("boundary FC leaked weights")
+	}
+	if reports[1].WeightsLeaked == 0 {
+		t.Fatal("SE FC leaked nothing at 50% ratio")
+	}
+}
+
+func TestRNNPlanVerifies(t *testing.T) {
+	m, err := models.Build(models.RNNUnrolledArch("rnn", 24, 32, 2, 6), prng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPlan(t, m, DefaultMLPOptions())
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// sanity: the SE layers sit strictly between the boundary layers
+	ses := 0
+	for _, lp := range p.Layers[1 : len(p.Layers)-1] {
+		if !lp.Full {
+			ses++
+		}
+	}
+	if ses == 0 {
+		t.Fatal("no SE layers in the unrolled RNN")
+	}
+}
+
+func TestMLPForwardUnaffectedByPlanning(t *testing.T) {
+	// planning must never mutate weights
+	m := buildMLP(t)
+	x := tensor.New(2, 32, 1, 1)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) * 0.1
+	}
+	before := m.Forward(x, false).Clone()
+	mustPlan(t, m, DefaultMLPOptions())
+	after := m.Forward(x, false)
+	if !tensor.Equal(before, after, 0) {
+		t.Fatal("planning changed model outputs")
+	}
+}

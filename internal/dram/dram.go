@@ -1,0 +1,277 @@
+// Package dram models a GDDR5 memory channel: multiple banks with open
+// rows, first-ready first-come-first-served (FR-FCFS) scheduling, and a
+// shared data bus whose bandwidth is the quantity SEAL is ultimately
+// about. Six such channels back the simulated GTX480, matching the
+// paper's 384-bit/6-channel configuration (§IV-A).
+//
+// The model runs on the GPU core-clock domain with float64 timestamps:
+// GDDR5 transfers a 64-byte line in under two 700 MHz core cycles, so
+// integer core-cycle resolution would quantize bandwidth badly.
+package dram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config describes one memory channel.
+type Config struct {
+	Banks         int     // independent banks (GDDR5 has 16)
+	RowBytes      int     // row-buffer span; must be a power of two
+	BytesPerCycle float64 // data-bus bandwidth in bytes per core cycle
+	TRCD          float64 // activate→column delay, core cycles
+	TRP           float64 // precharge delay, core cycles
+	TCL           float64 // column access (CAS) latency, core cycles
+	QueueDepth    int     // request queue capacity
+	LineBytes     int     // transfer granularity (cache line)
+}
+
+// Validate checks structural invariants.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("dram: non-positive bank count %d", c.Banks)
+	}
+	if c.RowBytes <= 0 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("dram: row size %d not a positive power of two", c.RowBytes)
+	}
+	if c.BytesPerCycle <= 0 {
+		return fmt.Errorf("dram: non-positive bandwidth %v", c.BytesPerCycle)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("dram: non-positive queue depth %d", c.QueueDepth)
+	}
+	if c.LineBytes <= 0 || c.LineBytes > c.RowBytes {
+		return fmt.Errorf("dram: line size %d invalid for row size %d", c.LineBytes, c.RowBytes)
+	}
+	return nil
+}
+
+// Request is one line-sized transfer.
+type Request struct {
+	ID      uint64
+	Addr    uint64
+	Write   bool
+	Arrival float64
+	Done    float64 // completion time, set by the channel
+	Tag     any     // opaque caller payload carried through the queue
+}
+
+type bank struct {
+	openRow uint64
+	rowOpen bool
+	readyAt float64
+}
+
+// Stats aggregates channel activity.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	Bytes     uint64
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// Channel is one GDDR5 channel instance. Reads and writes wait in
+// separate queues, as in real memory controllers: demand reads block the
+// cores, writebacks are posted, so a write burst must never trap reads
+// behind it.
+type Channel struct {
+	cfg      Config
+	readQ    []*Request
+	writeQ   []*Request
+	inflight []*Request
+	banks    []bank
+	busFree  float64
+	stats    Stats
+}
+
+// NewChannel constructs a channel; it panics on invalid configuration.
+func NewChannel(cfg Config) *Channel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Channel{cfg: cfg, banks: make([]bank, cfg.Banks)}
+}
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// QueueLen returns the number of requests waiting to issue.
+func (ch *Channel) QueueLen() int { return len(ch.readQ) + len(ch.writeQ) }
+
+// InflightLen returns the number of issued-but-incomplete requests.
+func (ch *Channel) InflightLen() int { return len(ch.inflight) }
+
+// CanEnqueue reports whether the queue for the given class has room.
+func (ch *Channel) CanEnqueue(write bool) bool {
+	if write {
+		return len(ch.writeQ) < ch.cfg.QueueDepth
+	}
+	return len(ch.readQ) < ch.cfg.QueueDepth
+}
+
+// Enqueue adds a request to its class queue; it returns false when that
+// queue is full.
+func (ch *Channel) Enqueue(r *Request) bool {
+	if !ch.CanEnqueue(r.Write) {
+		return false
+	}
+	if r.Write {
+		ch.writeQ = append(ch.writeQ, r)
+	} else {
+		ch.readQ = append(ch.readQ, r)
+	}
+	return true
+}
+
+func (ch *Channel) bankAndRow(addr uint64) (int, uint64) {
+	row := addr / uint64(ch.cfg.RowBytes)
+	return int(row % uint64(ch.cfg.Banks)), row / uint64(ch.cfg.Banks)
+}
+
+// Tick advances the channel to time now: it retires finished requests
+// (returned to the caller) and issues at most one queued request.
+func (ch *Channel) Tick(now float64) []*Request {
+	var done []*Request
+	keep := ch.inflight[:0]
+	for _, r := range ch.inflight {
+		if r.Done <= now {
+			done = append(done, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	ch.inflight = keep
+	if len(done) > 1 {
+		sort.Slice(done, func(i, j int) bool { return done[i].Done < done[j].Done })
+	}
+
+	if len(ch.readQ) == 0 && len(ch.writeQ) == 0 {
+		return done
+	}
+	// FR-FCFS over ready banks with read priority: demand reads block
+	// SMs, while writebacks are posted, so the scheduler serves reads
+	// first and drains writes opportunistically — switching to write-
+	// drain mode when the write queue passes its high-water mark
+	// (standard memory-controller policy). Within each class, pass 1
+	// takes the oldest request hitting an open row of a ready bank;
+	// pass 2 the oldest request with a ready bank. Requests whose banks
+	// are still busy stay queued so row hits behind them can bypass —
+	// the essence of FR-FCFS.
+	writeDrain := len(ch.writeQ) >= ch.cfg.QueueDepth*3/4
+	first, second := &ch.readQ, &ch.writeQ
+	if writeDrain {
+		first, second = &ch.writeQ, &ch.readQ
+	}
+	q, pick := first, pickEligible(ch, *first, now)
+	if pick < 0 {
+		q, pick = second, pickEligible(ch, *second, now)
+	}
+	if pick < 0 {
+		return done
+	}
+	r := (*q)[pick]
+	*q = append((*q)[:pick], (*q)[pick+1:]...)
+	ch.issue(r, now)
+	return done
+}
+
+// pickEligible returns the index to issue within one class queue,
+// preferring the oldest open-row hit on a ready bank, then the oldest
+// request on a ready bank; -1 if none is issueable now.
+func pickEligible(ch *Channel, q []*Request, now float64) int {
+	fallback := -1
+	for i, r := range q {
+		if r.Arrival > now {
+			continue
+		}
+		b, row := ch.bankAndRow(r.Addr)
+		bk := &ch.banks[b]
+		if bk.readyAt > now {
+			continue
+		}
+		if bk.rowOpen && bk.openRow == row {
+			return i
+		}
+		if fallback < 0 {
+			fallback = i
+		}
+	}
+	return fallback
+}
+
+func (ch *Channel) issue(r *Request, now float64) {
+	b, row := ch.bankAndRow(r.Addr)
+	bk := &ch.banks[b]
+	start := now
+	if bk.readyAt > start {
+		start = bk.readyAt
+	}
+	// prepLat is the row preparation time before the column command; TCL
+	// then elapses before data, which occupies the bus for the burst.
+	// The bank accepts its next column command after the burst drains
+	// (tCCD ≈ burst), so open-row streams run at full bus rate while the
+	// CAS latency pipelines.
+	var prepLat float64
+	switch {
+	case bk.rowOpen && bk.openRow == row:
+		prepLat = 0
+		ch.stats.RowHits++
+	case bk.rowOpen:
+		prepLat = ch.cfg.TRP + ch.cfg.TRCD
+		ch.stats.RowMisses++
+	default:
+		prepLat = ch.cfg.TRCD
+		ch.stats.RowMisses++
+	}
+	bk.rowOpen = true
+	bk.openRow = row
+	burst := float64(ch.cfg.LineBytes) / ch.cfg.BytesPerCycle
+	colCmd := start + prepLat
+	dataStart := colCmd + ch.cfg.TCL
+	if ch.busFree > dataStart {
+		dataStart = ch.busFree
+	}
+	r.Done = dataStart + burst
+	ch.busFree = r.Done
+	bk.readyAt = colCmd + burst
+	ch.inflight = append(ch.inflight, r)
+
+	if r.Write {
+		ch.stats.Writes++
+	} else {
+		ch.stats.Reads++
+	}
+	ch.stats.Bytes += uint64(ch.cfg.LineBytes)
+}
+
+// Drain advances time until everything queued and in flight finishes,
+// returning the completion time of the last request.
+func (ch *Channel) Drain(now float64) float64 {
+	last := now
+	for ch.QueueLen() > 0 || len(ch.inflight) > 0 {
+		done := ch.Tick(now)
+		for _, r := range done {
+			if r.Done > last {
+				last = r.Done
+			}
+		}
+		now++
+	}
+	return last
+}
+
+// Stats returns accumulated counters.
+func (ch *Channel) Stats() Stats { return ch.stats }
+
+// Busy reports whether the channel still has pending work.
+func (ch *Channel) Busy() bool { return ch.QueueLen() > 0 || len(ch.inflight) > 0 }

@@ -1,0 +1,243 @@
+package dram
+
+import (
+	"math"
+	"testing"
+
+	"seal/internal/prng"
+)
+
+func testCfg() Config {
+	return Config{
+		Banks: 16, RowBytes: 2048, BytesPerCycle: 42.0,
+		TRCD: 10, TRP: 10, TCL: 10, QueueDepth: 32, LineBytes: 64,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Banks: 0, RowBytes: 2048, BytesPerCycle: 1, QueueDepth: 1, LineBytes: 64},
+		{Banks: 4, RowBytes: 1000, BytesPerCycle: 1, QueueDepth: 1, LineBytes: 64},
+		{Banks: 4, RowBytes: 2048, BytesPerCycle: 0, QueueDepth: 1, LineBytes: 64},
+		{Banks: 4, RowBytes: 2048, BytesPerCycle: 1, QueueDepth: 0, LineBytes: 64},
+		{Banks: 4, RowBytes: 64, BytesPerCycle: 1, QueueDepth: 1, LineBytes: 128},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSingleRequestLatency(t *testing.T) {
+	ch := NewChannel(testCfg())
+	r := &Request{ID: 1, Addr: 0, Arrival: 0}
+	if !ch.Enqueue(r) {
+		t.Fatal("enqueue failed")
+	}
+	ch.Tick(0)
+	// closed bank: TRCD+TCL + burst = 10+10+64/42
+	want := 20 + 64.0/42.0
+	if math.Abs(r.Done-want) > 1e-9 {
+		t.Fatalf("done = %v, want %v", r.Done, want)
+	}
+	done := ch.Tick(want + 1)
+	if len(done) != 1 || done[0] != r {
+		t.Fatalf("completion not returned: %v", done)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := testCfg()
+	// same row back-to-back
+	ch := NewChannel(cfg)
+	a := &Request{ID: 1, Addr: 0}
+	b := &Request{ID: 2, Addr: 64}
+	ch.Enqueue(a)
+	ch.Enqueue(b)
+	ch.Drain(0)
+	hitDone := b.Done
+
+	// different rows in the same bank
+	ch2 := NewChannel(cfg)
+	c := &Request{ID: 1, Addr: 0}
+	d := &Request{ID: 2, Addr: uint64(cfg.RowBytes * cfg.Banks)} // same bank, next row
+	ch2.Enqueue(c)
+	ch2.Enqueue(d)
+	ch2.Drain(0)
+	missDone := d.Done
+
+	if hitDone >= missDone {
+		t.Fatalf("row hit (%v) not faster than row miss (%v)", hitDone, missDone)
+	}
+	if ch.Stats().RowHits != 1 {
+		t.Fatalf("row hits = %d", ch.Stats().RowHits)
+	}
+	if ch2.Stats().RowMisses != 2 {
+		t.Fatalf("row misses = %d", ch2.Stats().RowMisses)
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	cfg := testCfg()
+	ch := NewChannel(cfg)
+	first := &Request{ID: 1, Addr: 0}
+	ch.Enqueue(first)
+	ch.Tick(0) // opens row 0 of bank 0
+	// Now queue a row-miss (same bank, different row) then a row-hit.
+	miss := &Request{ID: 2, Addr: uint64(cfg.RowBytes * cfg.Banks)}
+	hit := &Request{ID: 3, Addr: 128}
+	ch.Enqueue(miss)
+	ch.Enqueue(hit)
+	// Drain from a point where the bank is ready so the row-hit is
+	// eligible; FR-FCFS must serve it before the older row-miss.
+	ch.Drain(25)
+	if hit.Done == 0 || miss.Done == 0 {
+		t.Fatal("requests not issued")
+	}
+	if hit.Done >= miss.Done {
+		t.Fatalf("FR-FCFS did not prioritize row hit: hit %v, miss %v", hit.Done, miss.Done)
+	}
+}
+
+func TestQueueDepthEnforced(t *testing.T) {
+	cfg := testCfg()
+	cfg.QueueDepth = 2
+	ch := NewChannel(cfg)
+	if !ch.Enqueue(&Request{ID: 1}) || !ch.Enqueue(&Request{ID: 2}) {
+		t.Fatal("read queue rejected below capacity")
+	}
+	if ch.Enqueue(&Request{ID: 3}) {
+		t.Fatal("read queue accepted above capacity")
+	}
+	// the write queue is independent
+	if !ch.Enqueue(&Request{ID: 4, Write: true}) || !ch.Enqueue(&Request{ID: 5, Write: true}) {
+		t.Fatal("write queue rejected below capacity")
+	}
+	if ch.Enqueue(&Request{ID: 6, Write: true}) {
+		t.Fatal("write queue accepted above capacity")
+	}
+}
+
+func TestStreamBandwidthBound(t *testing.T) {
+	// A long stream of sequential reads must sustain close to the
+	// configured bus bandwidth: time/request → LineBytes/BytesPerCycle.
+	cfg := testCfg()
+	ch := NewChannel(cfg)
+	const n = 2000
+	issued := 0
+	var last float64
+	for now := 0.0; issued < n || ch.Busy(); now++ {
+		for issued < n && ch.CanEnqueue(false) {
+			ch.Enqueue(&Request{ID: uint64(issued), Addr: uint64(issued) * 64, Arrival: now})
+			issued++
+		}
+		for _, r := range ch.Tick(now) {
+			if r.Done > last {
+				last = r.Done
+			}
+		}
+	}
+	perReq := last / n
+	ideal := 64.0 / cfg.BytesPerCycle
+	if perReq > ideal*1.35 {
+		t.Fatalf("stream bandwidth too low: %.3f cycles/request vs ideal %.3f", perReq, ideal)
+	}
+}
+
+func TestRandomTrafficSlowerThanSequential(t *testing.T) {
+	run := func(random bool) float64 {
+		cfg := testCfg()
+		ch := NewChannel(cfg)
+		r := prng.New(42)
+		const n = 1000
+		issued := 0
+		var last float64
+		for now := 0.0; issued < n || ch.Busy(); now++ {
+			for issued < n && ch.CanEnqueue(false) {
+				addr := uint64(issued) * 64
+				if random {
+					addr = uint64(r.Intn(1<<28)) &^ 63
+				}
+				ch.Enqueue(&Request{ID: uint64(issued), Addr: addr, Arrival: now})
+				issued++
+			}
+			for _, req := range ch.Tick(now) {
+				if req.Done > last {
+					last = req.Done
+				}
+			}
+		}
+		return last
+	}
+	seq := run(false)
+	rnd := run(true)
+	if rnd <= seq {
+		t.Fatalf("random traffic (%v) not slower than sequential (%v)", rnd, seq)
+	}
+}
+
+func TestDrainCompletesEverything(t *testing.T) {
+	ch := NewChannel(testCfg())
+	for i := 0; i < 10; i++ {
+		ch.Enqueue(&Request{ID: uint64(i), Addr: uint64(i) * 4096})
+	}
+	end := ch.Drain(0)
+	if ch.Busy() {
+		t.Fatal("channel busy after drain")
+	}
+	if end <= 0 {
+		t.Fatalf("drain end = %v", end)
+	}
+	st := ch.Stats()
+	if st.Reads != 10 || st.Bytes != 640 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteCounted(t *testing.T) {
+	ch := NewChannel(testCfg())
+	ch.Enqueue(&Request{ID: 1, Addr: 0, Write: true})
+	ch.Drain(0)
+	if ch.Stats().Writes != 1 || ch.Stats().Reads != 0 {
+		t.Fatalf("stats %+v", ch.Stats())
+	}
+}
+
+func TestRowHitRateStat(t *testing.T) {
+	var s Stats
+	if s.RowHitRate() != 0 {
+		t.Fatal("empty row hit rate not 0")
+	}
+	s = Stats{RowHits: 3, RowMisses: 1}
+	if s.RowHitRate() != 0.75 {
+		t.Fatalf("row hit rate %v", s.RowHitRate())
+	}
+}
+
+func TestBankParallelismBeatsSingleBank(t *testing.T) {
+	// Requests striped across banks should finish sooner than the same
+	// number of row-missing requests hammering one bank.
+	run := func(sameBank bool) float64 {
+		cfg := testCfg()
+		cfg.BytesPerCycle = 4 // make latency, not bus, the limiter
+		ch := NewChannel(cfg)
+		const n = 32
+		for i := 0; i < n; i++ {
+			addr := uint64(i) * uint64(cfg.RowBytes) // consecutive rows → different banks
+			if sameBank {
+				addr = uint64(i) * uint64(cfg.RowBytes) * uint64(cfg.Banks) // same bank, new row each time
+			}
+			ch.Enqueue(&Request{ID: uint64(i), Addr: addr})
+		}
+		return ch.Drain(0)
+	}
+	striped := run(false)
+	hammered := run(true)
+	if striped >= hammered {
+		t.Fatalf("bank striping (%v) not faster than single-bank row misses (%v)", striped, hammered)
+	}
+}

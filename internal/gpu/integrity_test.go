@@ -1,0 +1,103 @@
+package gpu
+
+import "testing"
+
+func integrityCfg(mode EncMode) Config {
+	cfg := smallCfg().WithMode(mode, nil)
+	cfg.Integrity = true
+	return cfg
+}
+
+func TestIntegrityRequiresEncryption(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Integrity = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("integrity without encryption accepted")
+	}
+}
+
+func TestIntegrityAddsMACTraffic(t *testing.T) {
+	// strided reads: each touches a fresh MAC block with a small cache
+	cfg := integrityCfg(ModeDirect)
+	cfg.MAC.CacheSizeBytes = 1024
+	s := mustSim(t, cfg)
+	n := 1000
+	st := make(Stream, n)
+	for i := range st {
+		st[i] = Op{Addr: uint64(i) * 64 * 8 * 64}
+	}
+	res := mustRun(t, s, []Stream{st})
+	var macReads uint64
+	for _, p := range res.Parts {
+		macReads += p.MACReads
+	}
+	if macReads < uint64(n)/2 {
+		t.Fatalf("MAC reads = %d, want ≥%d for strided authenticated traffic", macReads, n/2)
+	}
+}
+
+func TestIntegrityCostsPerformance(t *testing.T) {
+	streams := func() []Stream {
+		return []Stream{readStream(3000, 0, 1), readStream(3000, 1<<22, 1)}
+	}
+	plain := mustRun(t, mustSim(t, smallCfg().WithMode(ModeDirect, nil)), streams())
+	auth := mustRun(t, mustSim(t, integrityCfg(ModeDirect)), streams())
+	if auth.IPC > plain.IPC {
+		t.Fatalf("authenticated run faster than unauthenticated: %v vs %v", auth.IPC, plain.IPC)
+	}
+	if auth.Cycles <= plain.Cycles {
+		t.Fatalf("integrity added no cycles: %v vs %v", auth.Cycles, plain.Cycles)
+	}
+}
+
+func TestIntegritySkipsBypassedLines(t *testing.T) {
+	// SEAL + integrity: only protected lines get MAC lookups.
+	half := func(addr uint64) bool { return (addr/64)%2 == 0 }
+	cfg := smallCfg().WithMode(ModeDirect, half)
+	cfg.Integrity = true
+	s := mustSim(t, cfg)
+	res := mustRun(t, s, []Stream{readStream(4000, 0, 0)})
+
+	full := mustRun(t, mustSim(t, integrityCfg(ModeDirect)), []Stream{readStream(4000, 0, 0)})
+
+	var sealMac, fullMac uint64
+	for i := range res.Parts {
+		sealMac += res.Parts[i].MACReads
+		fullMac += full.Parts[i].MACReads
+	}
+	if sealMac >= fullMac {
+		t.Fatalf("SEAL integrity MAC reads %d not below full %d", sealMac, fullMac)
+	}
+}
+
+func TestIntegrityEvictionsUpdateMACs(t *testing.T) {
+	cfg := integrityCfg(ModeDirect)
+	s := mustSim(t, cfg)
+	n := 3 * cfg.L2Slice.SizeBytes * cfg.Channels / cfg.LineBytes
+	res := mustRun(t, s, []Stream{writeStream(n, 0)})
+	var macWrites, macReads uint64
+	for _, p := range res.Parts {
+		macWrites += p.MACWrites
+		macReads += p.MACReads
+	}
+	if macWrites+macReads == 0 {
+		t.Fatal("authenticated writebacks produced no MAC activity")
+	}
+}
+
+func TestIntegrityWithCounterMode(t *testing.T) {
+	cfg := integrityCfg(ModeCounter)
+	s := mustSim(t, cfg)
+	res := mustRun(t, s, []Stream{readStream(2000, 0, 1)})
+	if res.MemRequests != 2000 {
+		t.Fatalf("requests lost: %d", res.MemRequests)
+	}
+	var macReads uint64
+	for _, p := range res.Parts {
+		macReads += p.MACReads
+	}
+	// sequential traffic hits the MAC cache mostly, but cold blocks fetch
+	if macReads == 0 {
+		t.Fatal("no MAC fetches on cold authenticated traffic")
+	}
+}

@@ -1,0 +1,366 @@
+package gpu
+
+import (
+	"seal/internal/cache"
+	"seal/internal/dram"
+	"seal/internal/engine"
+)
+
+// memReq is one SM memory request flowing through a partition.
+type memReq struct {
+	smID  int
+	addr  uint64
+	write bool
+	// counter-mode read rendezvous: both the data line and the one-time
+	// pad must be ready before the plaintext can be returned. -1 marks
+	// "not yet known".
+	dataDone float64
+	padDone  float64
+	// direct-mode reads pass through the engine after the data arrives
+	engineAfterData bool
+	// integrity rendezvous: 0 = no MAC needed, 1 = MAC fetch in flight,
+	// 2 = MAC ready at macReadyAt. A read's response is held until the
+	// MAC is verified.
+	macState   int
+	macReadyAt float64
+	// respHeld buffers the data-path completion while the MAC is pending.
+	respHeld bool
+	respAt   float64
+}
+
+type tagKind int
+
+const (
+	tagWrite           tagKind = iota // fire-and-forget DRAM write
+	tagData                           // data-line fetch for a read
+	tagCounter                        // counter-block fetch for a read
+	tagCounterForWrite                // counter-block fetch blocking an encrypted writeback
+	tagMAC                            // MAC-block fetch for an authenticated read
+)
+
+type dramTag struct {
+	kind tagKind
+	rec  *memReq
+	// writeAddr is the data line waiting on a tagCounterForWrite fetch.
+	writeAddr uint64
+}
+
+type arrival struct {
+	rec *memReq
+	at  float64
+}
+
+type response struct {
+	smID    int
+	readyAt float64
+}
+
+// partition is one memory controller: L2 slice, AES engine, counter
+// cache and GDDR5 channel.
+type partition struct {
+	id  int
+	cfg *Config
+	l2  *cache.Cache
+	eng *engine.Engine
+	cc  *engine.CounterCache
+	mac *engine.CounterCache
+	ch  *dram.Channel
+
+	arrivals  []arrival       // FIFO of incoming SM requests (monotone .at)
+	overflowR []*dram.Request // reads waiting for DRAM read-queue space
+	overflowW []*dram.Request // writes waiting for DRAM write-queue space
+	responses []response      // completed requests to route back
+	reqID     uint64
+
+	extraReads  uint64 // counter-block fetches
+	extraWrites uint64 // counter/dirty-line writebacks
+	macReads    uint64 // MAC-block fetches
+	macWrites   uint64 // MAC-block writebacks
+}
+
+func newPartition(id int, cfg *Config) *partition {
+	p := &partition{
+		id:  id,
+		cfg: cfg,
+		l2:  cache.New(cfg.L2Slice),
+		eng: engine.New(cfg.EngineSpec, cfg.CoreClockHz),
+		ch:  dram.NewChannel(cfg.DRAM),
+	}
+	if cfg.Mode == ModeCounter {
+		p.cc = engine.NewCounterCache(cfg.Counter)
+	}
+	if cfg.Integrity && cfg.Mode != ModeNone {
+		p.mac = engine.NewCounterCache(cfg.MAC)
+	}
+	return p
+}
+
+// counterLocalAddr maps a global data address to the partition-local
+// line space used for counter bookkeeping. Data lines interleave across
+// channels, so without this translation a counter block's 8 counters
+// would be split across partitions, destroying the spatial locality
+// counter caching depends on. Each memory controller keeps counters for
+// its own lines, packed densely (Yan et al. [24] organize per-controller
+// counter storage the same way).
+func (p *partition) counterLocalAddr(addr uint64) uint64 {
+	line := addr / uint64(p.cfg.LineBytes)
+	return line / uint64(p.cfg.Channels) * uint64(p.cfg.LineBytes)
+}
+
+func (p *partition) protected(addr uint64) bool {
+	if p.cfg.Mode == ModeNone || p.cfg.Protected == nil {
+		return false
+	}
+	return p.cfg.Protected(addr)
+}
+
+// accept queues an SM request that reaches the partition at time at.
+func (p *partition) accept(rec *memReq, at float64) {
+	p.arrivals = append(p.arrivals, arrival{rec: rec, at: at})
+}
+
+func (p *partition) dramSubmit(r *dram.Request) {
+	over := &p.overflowR
+	if r.Write {
+		over = &p.overflowW
+	}
+	if len(*over) == 0 && p.ch.Enqueue(r) {
+		return
+	}
+	*over = append(*over, r)
+}
+
+func (p *partition) dramRead(addr uint64, at float64, tag dramTag) {
+	p.reqID++
+	p.dramSubmit(&dram.Request{ID: p.reqID, Addr: addr, Arrival: at, Tag: tag})
+}
+
+func (p *partition) dramWrite(addr uint64, at float64) {
+	p.reqID++
+	p.dramSubmit(&dram.Request{ID: p.reqID, Addr: addr, Write: true, Arrival: at, Tag: dramTag{kind: tagWrite}})
+}
+
+func (p *partition) respond(rec *memReq, at float64) {
+	// Authenticated reads release data only after MAC verification.
+	switch rec.macState {
+	case 1: // MAC still in flight: hold the data-path completion
+		rec.respHeld = true
+		rec.respAt = at
+		return
+	case 2:
+		if rec.macReadyAt > at {
+			at = rec.macReadyAt
+		}
+	}
+	p.responses = append(p.responses, response{smID: rec.smID, readyAt: at + p.cfg.InterconnectLat})
+}
+
+// macLookup starts the MAC access for an authenticated protected read.
+// On a hit, verification overlaps the data fetch and completes MACVerify
+// cycles from now; on a miss the MAC block is fetched from DRAM first.
+func (p *partition) macLookup(rec *memReq, now float64, write bool) {
+	if p.mac == nil || !p.protected(rec.addr) {
+		return
+	}
+	res := p.mac.Lookup(p.counterLocalAddr(rec.addr), write)
+	if res.Writeback {
+		p.macWrites++
+		p.dramWrite(res.WritebackAddr, now)
+	}
+	if write {
+		return // MAC update is absorbed by the (dirty) MAC cache block
+	}
+	if res.Hit {
+		rec.macState = 2
+		rec.macReadyAt = now + p.cfg.MACVerify
+		return
+	}
+	rec.macState = 1
+	p.macReads++
+	p.dramRead(res.MissAddr, now, dramTag{kind: tagMAC, rec: rec})
+}
+
+// handleEviction issues the DRAM writeback of a dirty L2 victim,
+// routing it through the encryption path when the line is protected.
+func (p *partition) handleEviction(addr uint64, now float64) {
+	if !p.protected(addr) {
+		p.dramWrite(addr, now)
+		return
+	}
+	if p.mac != nil {
+		res := p.mac.Lookup(p.counterLocalAddr(addr), true)
+		if res.Writeback {
+			p.macWrites++
+			p.dramWrite(res.WritebackAddr, now)
+		}
+		if !res.Hit {
+			// MAC block must be resident to update; fetch it (read-modify)
+			p.macReads++
+			p.dramRead(res.MissAddr, now, dramTag{kind: tagWrite})
+		}
+	}
+	switch p.cfg.Mode {
+	case ModeDirect:
+		done := p.eng.Process(now, p.cfg.LineBytes)
+		p.dramWrite(addr, done)
+	case ModeCounter:
+		ctr := p.cc.Lookup(p.counterLocalAddr(addr), true) // a write advances the line counter
+		if ctr.Writeback {
+			p.extraWrites++
+			p.dramWrite(ctr.WritebackAddr, now)
+		}
+		if ctr.Hit {
+			pad := p.eng.Process(now, p.cfg.LineBytes)
+			p.dramWrite(addr, pad)
+		} else {
+			p.extraReads++
+			p.dramRead(ctr.MissAddr, now, dramTag{kind: tagCounterForWrite, writeAddr: addr})
+		}
+	}
+}
+
+// handleArrival runs the L2 and (on miss) the fetch path for one SM
+// request.
+func (p *partition) handleArrival(rec *memReq, now float64) {
+	res := p.l2.Access(rec.addr, rec.write)
+	if res.Writeback {
+		p.handleEviction(res.EvictedAddr, now)
+	}
+	if rec.write {
+		// Write-validate policy: coalesced full-line stores allocate the
+		// line dirty without fetching it; the cost surfaces at eviction.
+		p.respond(rec, now+p.cfg.L2Latency)
+		return
+	}
+	if res.Hit {
+		p.respond(rec, now+p.cfg.L2Latency)
+		return
+	}
+	if !p.protected(rec.addr) {
+		p.dramRead(rec.addr, now, dramTag{kind: tagData, rec: rec})
+		return
+	}
+	p.macLookup(rec, now, false)
+	switch p.cfg.Mode {
+	case ModeDirect:
+		rec.engineAfterData = true
+		p.dramRead(rec.addr, now, dramTag{kind: tagData, rec: rec})
+	case ModeCounter:
+		rec.dataDone, rec.padDone = -1, -1
+		ctr := p.cc.Lookup(p.counterLocalAddr(rec.addr), false)
+		if ctr.Writeback {
+			p.extraWrites++
+			p.dramWrite(ctr.WritebackAddr, now)
+		}
+		p.dramRead(rec.addr, now, dramTag{kind: tagData, rec: rec})
+		if ctr.Hit {
+			// Pad generation overlaps the data fetch: this is counter
+			// mode's latency advantage over direct encryption.
+			rec.padDone = p.eng.Process(now, p.cfg.LineBytes)
+			p.maybeFinishCounterRead(rec)
+		} else {
+			p.extraReads++
+			p.dramRead(ctr.MissAddr, now, dramTag{kind: tagCounter, rec: rec})
+		}
+	}
+}
+
+func (p *partition) maybeFinishCounterRead(rec *memReq) {
+	if rec.dataDone < 0 || rec.padDone < 0 {
+		return
+	}
+	at := rec.dataDone
+	if rec.padDone > at {
+		at = rec.padDone
+	}
+	p.respond(rec, at+1) // one cycle for the XOR
+}
+
+// tick advances the partition by one core cycle.
+func (p *partition) tick(now float64) {
+	// flush queued DRAM submissions in order, per class
+	for len(p.overflowR) > 0 && p.ch.Enqueue(p.overflowR[0]) {
+		p.overflowR = p.overflowR[1:]
+	}
+	for len(p.overflowW) > 0 && p.ch.Enqueue(p.overflowW[0]) {
+		p.overflowW = p.overflowW[1:]
+	}
+	for _, dr := range p.ch.Tick(now) {
+		tag := dr.Tag.(dramTag)
+		switch tag.kind {
+		case tagWrite:
+			// fire-and-forget
+		case tagData:
+			rec := tag.rec
+			switch {
+			case rec.engineAfterData:
+				done := p.eng.Process(dr.Done, p.cfg.LineBytes)
+				p.respond(rec, done)
+			case p.cfg.Mode == ModeCounter && p.protected(rec.addr):
+				rec.dataDone = dr.Done
+				p.maybeFinishCounterRead(rec)
+			default:
+				p.respond(rec, dr.Done)
+			}
+		case tagCounter:
+			rec := tag.rec
+			rec.padDone = p.eng.Process(dr.Done, p.cfg.LineBytes)
+			p.maybeFinishCounterRead(rec)
+		case tagCounterForWrite:
+			pad := p.eng.Process(dr.Done, p.cfg.LineBytes)
+			p.dramWrite(tag.writeAddr, pad)
+		case tagMAC:
+			rec := tag.rec
+			rec.macState = 2
+			rec.macReadyAt = dr.Done + p.cfg.MACVerify
+			if rec.respHeld {
+				rec.respHeld = false
+				p.respond(rec, rec.respAt)
+			}
+		}
+	}
+	// process arrivals due this cycle
+	n := 0
+	for _, a := range p.arrivals {
+		if a.at <= now {
+			p.handleArrival(a.rec, now)
+			n++
+		} else {
+			break
+		}
+	}
+	p.arrivals = p.arrivals[n:]
+}
+
+// busy reports whether the partition still has pending work.
+func (p *partition) busy() bool {
+	return len(p.arrivals) > 0 || len(p.overflowR) > 0 || len(p.overflowW) > 0 || len(p.responses) > 0 || p.ch.Busy()
+}
+
+// PartStats aggregates one partition's counters.
+type PartStats struct {
+	L2                 cache.Stats
+	DRAM               dram.Stats
+	Engine             engine.Stats
+	Counter            cache.Stats // zero-valued unless counter mode
+	ExtraCounterReads  uint64
+	ExtraCounterWrites uint64
+	MACReads           uint64
+	MACWrites          uint64
+}
+
+func (p *partition) stats() PartStats {
+	st := PartStats{
+		L2:                 p.l2.Stats(),
+		DRAM:               p.ch.Stats(),
+		Engine:             p.eng.Stats(),
+		ExtraCounterReads:  p.extraReads,
+		ExtraCounterWrites: p.extraWrites,
+		MACReads:           p.macReads,
+		MACWrites:          p.macWrites,
+	}
+	if p.cc != nil {
+		st.Counter = p.cc.Stats()
+	}
+	return st
+}

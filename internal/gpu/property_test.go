@@ -1,0 +1,93 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seal/internal/prng"
+)
+
+// TestRandomStreamsAlwaysDrain is the no-deadlock property: any mix of
+// reads, writes and compute across SMs, under any encryption mode,
+// terminates with every request answered.
+func TestRandomStreamsAlwaysDrain(t *testing.T) {
+	check := func(seed uint64, modeRaw uint8) bool {
+		r := prng.New(seed)
+		mode := EncMode(modeRaw % 3)
+		cfg := smallCfg().WithMode(mode, func(addr uint64) bool {
+			return addr&64 == 0 // arbitrary half-protected predicate
+		})
+		streams := make([]Stream, cfg.NumSMs)
+		var wantMem int64
+		for i := range streams {
+			n := r.Intn(200) + 1
+			st := make(Stream, n)
+			for j := range st {
+				switch r.Intn(4) {
+				case 0:
+					st[j] = Op{Compute: r.Intn(20), NoMem: true}
+				case 1:
+					st[j] = Op{Compute: r.Intn(5), Addr: uint64(r.Intn(1<<22)) &^ 63, Write: true}
+					wantMem++
+				default:
+					st[j] = Op{Compute: r.Intn(5), Addr: uint64(r.Intn(1<<22)) &^ 63}
+					wantMem++
+				}
+			}
+			streams[i] = st
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(streams)
+		if err != nil {
+			return false
+		}
+		return res.MemRequests == wantMem && res.Cycles > 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDRAMTrafficConservation: in baseline mode every distinct missed
+// line is fetched exactly once (reads) and dirty lines written back at
+// most once per eviction — total DRAM reads never exceed requested
+// distinct lines plus re-fetches after eviction, and engine bytes are
+// zero.
+func TestDRAMTrafficConservation(t *testing.T) {
+	cfg := smallCfg()
+	s := mustSim(t, cfg)
+	const n = 3000
+	res := mustRun(t, s, []Stream{readStream(n, 0, 0)})
+	var reads, writes uint64
+	for _, p := range res.Parts {
+		reads += p.DRAM.Reads
+		writes += p.DRAM.Writes
+	}
+	if reads != n {
+		t.Fatalf("distinct-line stream fetched %d lines, want %d", reads, n)
+	}
+	if writes != 0 {
+		t.Fatalf("clean read stream produced %d writebacks", writes)
+	}
+	if res.EngineBytes() != 0 {
+		t.Fatal("baseline used the engine")
+	}
+}
+
+// TestProtectedPredicateGranularity: the engine sees exactly the
+// protected share of a stream that alternates protected/plain lines.
+func TestProtectedPredicateGranularity(t *testing.T) {
+	cfg := smallCfg().WithMode(ModeDirect, func(addr uint64) bool {
+		return (addr/64)%4 == 0 // 25% of lines
+	})
+	s := mustSim(t, cfg)
+	const n = 4000
+	res := mustRun(t, s, []Stream{readStream(n, 0, 0)})
+	frac := float64(res.EngineBytes()) / float64(res.DRAMBytes())
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("engine saw %.3f of traffic, want ≈0.25", frac)
+	}
+}

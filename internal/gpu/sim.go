@@ -1,0 +1,249 @@
+package gpu
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// floatHeap is a min-heap of response-ready times for one SM.
+type floatHeap []float64
+
+func (h floatHeap) Len() int           { return len(h) }
+func (h floatHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h floatHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *floatHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// sm is the in-order trace-replay model of one streaming multiprocessor.
+type sm struct {
+	stream      Stream
+	opIdx       int
+	computeLeft int
+	outstanding int
+	resp        floatHeap
+	warpInsts   int64
+	stallCycles int64
+}
+
+func (s *sm) loadOp() {
+	if s.opIdx < len(s.stream) {
+		s.computeLeft = s.stream[s.opIdx].Compute
+	}
+}
+
+func (s *sm) finished() bool {
+	return s.opIdx >= len(s.stream) && s.outstanding == 0
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles      float64
+	WarpInsts   int64
+	ThreadInsts int64
+	IPC         float64 // thread instructions per cycle (GPGPU-Sim convention)
+	MemRequests int64
+	StallCycles int64
+	Parts       []PartStats
+}
+
+// DRAMBytes returns total bytes moved on all channels.
+func (r Result) DRAMBytes() uint64 {
+	var n uint64
+	for _, p := range r.Parts {
+		n += p.DRAM.Bytes
+	}
+	return n
+}
+
+// EngineBytes returns total bytes through all AES engines.
+func (r Result) EngineBytes() uint64 {
+	var n uint64
+	for _, p := range r.Parts {
+		n += p.Engine.Bytes
+	}
+	return n
+}
+
+// CounterHitRate returns the aggregate counter-cache hit rate.
+func (r Result) CounterHitRate() float64 {
+	var hits, misses uint64
+	for _, p := range r.Parts {
+		hits += p.Counter.Hits
+		misses += p.Counter.Misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// L2HitRate returns the aggregate L2 hit rate.
+func (r Result) L2HitRate() float64 {
+	var hits, misses uint64
+	for _, p := range r.Parts {
+		hits += p.L2.Hits
+		misses += p.L2.Misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Sim is a simulated GPU instance. Caches and engine state persist
+// across Run calls so multi-kernel workloads (successive NN layers) see
+// warm caches; use Reset for independent experiments.
+type Sim struct {
+	cfg   Config
+	parts []*partition
+	now   float64
+}
+
+// New constructs a simulator; it returns an error on invalid config.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg}
+	for i := 0; i < cfg.Channels; i++ {
+		s.parts = append(s.parts, newPartition(i, &s.cfg))
+	}
+	return s, nil
+}
+
+// Config returns the simulator configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// channelOf maps a line address to its memory partition (fine-grained
+// line interleaving, the common GPU address mapping).
+func (s *Sim) channelOf(addr uint64) int {
+	return int((addr / uint64(s.cfg.LineBytes)) % uint64(s.cfg.Channels))
+}
+
+// Run replays one per-SM stream set to completion and returns aggregate
+// results. len(streams) must not exceed NumSMs; missing streams idle.
+func (s *Sim) Run(streams []Stream) (Result, error) {
+	if len(streams) > s.cfg.NumSMs {
+		return Result{}, fmt.Errorf("gpu: %d streams for %d SMs", len(streams), s.cfg.NumSMs)
+	}
+	sms := make([]*sm, len(streams))
+	var totalMem int64
+	for i, st := range streams {
+		sms[i] = &sm{stream: st}
+		sms[i].loadOp()
+		totalMem += st.MemOps()
+	}
+	start := s.now
+	active := len(sms)
+	for active > 0 || s.partsBusy() {
+		for _, p := range s.parts {
+			p.tick(s.now)
+			// route responses to SM heaps
+			for _, resp := range p.responses {
+				heap.Push(&sms[resp.smID].resp, resp.readyAt)
+			}
+			p.responses = p.responses[:0]
+		}
+		active = 0
+		for id, m := range sms {
+			// retire responses
+			for len(m.resp) > 0 && m.resp[0] <= s.now {
+				heap.Pop(&m.resp)
+				m.outstanding--
+			}
+			if m.finished() {
+				continue
+			}
+			active++
+			s.issue(id, m)
+		}
+		s.now++
+	}
+	var warp int64
+	var stalls int64
+	for _, m := range sms {
+		warp += m.warpInsts
+		stalls += m.stallCycles
+	}
+	cycles := s.now - start
+	res := Result{
+		Cycles:      cycles,
+		WarpInsts:   warp,
+		ThreadInsts: warp * int64(s.cfg.LanesPerWarp),
+		MemRequests: totalMem,
+		StallCycles: stalls,
+	}
+	if cycles > 0 {
+		res.IPC = float64(res.ThreadInsts) / cycles
+	}
+	for _, p := range s.parts {
+		res.Parts = append(res.Parts, p.stats())
+	}
+	return res, nil
+}
+
+func (s *Sim) issue(id int, m *sm) {
+	slots := s.cfg.IssueWidth
+	for slots > 0 {
+		if m.opIdx >= len(m.stream) {
+			return
+		}
+		op := &m.stream[m.opIdx]
+		if m.computeLeft > 0 {
+			k := m.computeLeft
+			if k > slots {
+				k = slots
+			}
+			m.computeLeft -= k
+			slots -= k
+			m.warpInsts += int64(k)
+			continue
+		}
+		if op.NoMem {
+			m.opIdx++
+			m.loadOp()
+			continue
+		}
+		if m.outstanding >= s.cfg.MaxOutstanding {
+			m.stallCycles++
+			return // structural stall: wait for MSHR
+		}
+		rec := &memReq{smID: id, addr: op.Addr, write: op.Write}
+		p := s.parts[s.channelOf(op.Addr)]
+		p.accept(rec, s.now+s.cfg.InterconnectLat)
+		m.outstanding++
+		m.warpInsts++
+		slots--
+		m.opIdx++
+		m.loadOp()
+	}
+}
+
+func (s *Sim) partsBusy() bool {
+	for _, p := range s.parts {
+		if p.busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns per-partition statistics accumulated so far.
+func (s *Sim) Stats() []PartStats {
+	out := make([]PartStats, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = p.stats()
+	}
+	return out
+}
+
+// Now returns the current simulation time in core cycles.
+func (s *Sim) Now() float64 { return s.now }
+
+// Reset restores cold caches, idle engines and time zero.
+func (s *Sim) Reset() {
+	s.now = 0
+	for i := range s.parts {
+		s.parts[i] = newPartition(i, &s.cfg)
+	}
+}

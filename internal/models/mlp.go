@@ -1,0 +1,64 @@
+package models
+
+import "fmt"
+
+// MLPArch returns an all-FC architecture: input features → hidden widths
+// → classes. The paper notes the SE scheme "can also be applied to
+// full-connected (FC) layers since each FC layer also includes a kernel
+// matrix like the CONV layer", and hence to networks composed of FC
+// layers (§III-A, final paragraph); this constructor exercises that
+// path. The input is modeled as a 1-channel "image" of inDim×1 so the
+// dataflow machinery is unchanged.
+func MLPArch(name string, inDim int, hidden []int, classes int) *Arch {
+	if inDim <= 0 || classes <= 0 {
+		panic(fmt.Sprintf("models: bad MLP dims in=%d classes=%d", inDim, classes))
+	}
+	a := &Arch{Name: name, InC: inDim, InH: 1, InW: 1, Classes: classes}
+	prev := inDim
+	for i, h := range hidden {
+		if h <= 0 {
+			panic(fmt.Sprintf("models: bad MLP hidden width %d", h))
+		}
+		a.Specs = append(a.Specs, LayerSpec{
+			Name: fmt.Sprintf("fc%d", i+1), Kind: KindFC,
+			InC: prev, OutC: h, InH: 1, InW: 1,
+		})
+		prev = h
+	}
+	a.Specs = append(a.Specs, LayerSpec{
+		Name: fmt.Sprintf("fc%d", len(hidden)+1), Kind: KindFC,
+		InC: prev, OutC: classes, InH: 1, InW: 1,
+	})
+	return a
+}
+
+// RNNUnrolledArch returns the FC view of an unrolled recurrent network:
+// steps repetitions of an input-to-hidden + hidden-to-hidden pair
+// followed by a classifier. Recurrent weight reuse across time steps
+// means the same kernel matrix is fetched once per step — exactly the
+// streaming pattern the timing model captures — while the SE analysis
+// treats each unrolled matrix like any FC layer, as §III-A prescribes
+// for RNNs.
+func RNNUnrolledArch(name string, inDim, hiddenDim, steps, classes int) *Arch {
+	if steps <= 0 {
+		panic("models: non-positive RNN steps")
+	}
+	a := &Arch{Name: name, InC: inDim, InH: 1, InW: 1, Classes: classes}
+	prev := inDim
+	for s := 0; s < steps; s++ {
+		a.Specs = append(a.Specs, LayerSpec{
+			Name: fmt.Sprintf("step%d.ih", s+1), Kind: KindFC,
+			InC: prev, OutC: hiddenDim, InH: 1, InW: 1,
+		})
+		a.Specs = append(a.Specs, LayerSpec{
+			Name: fmt.Sprintf("step%d.hh", s+1), Kind: KindFC,
+			InC: hiddenDim, OutC: hiddenDim, InH: 1, InW: 1,
+		})
+		prev = hiddenDim
+	}
+	a.Specs = append(a.Specs, LayerSpec{
+		Name: "classifier", Kind: KindFC,
+		InC: hiddenDim, OutC: classes, InH: 1, InW: 1,
+	})
+	return a
+}

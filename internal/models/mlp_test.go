@@ -1,0 +1,78 @@
+package models
+
+import (
+	"testing"
+
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+func TestMLPArchValidates(t *testing.T) {
+	a := MLPArch("mlp", 64, []int{128, 64}, 10)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.FCSpecs()); got != 3 {
+		t.Fatalf("FC layers = %d, want 3", got)
+	}
+	if a.WeightLayerCount() != 3 {
+		t.Fatalf("weight layers = %d", a.WeightLayerCount())
+	}
+	if a.TotalWeights() != 64*128+128*64+64*10 {
+		t.Fatalf("total weights = %d", a.TotalWeights())
+	}
+}
+
+func TestMLPBuildAndForward(t *testing.T) {
+	a := MLPArch("mlp", 32, []int{48}, 5)
+	m, err := Build(a, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(3, 32, 1, 1)
+	for i := range x.Data {
+		x.Data[i] = float32(prng.New(2).NormFloat64())
+	}
+	out := m.Forward(x, false)
+	if out.Dim(0) != 3 || out.Dim(1) != 5 {
+		t.Fatalf("logits shape %v", out.Shape)
+	}
+}
+
+func TestMLPPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad dims accepted")
+		}
+	}()
+	MLPArch("bad", 0, nil, 10)
+}
+
+func TestRNNUnrolledArch(t *testing.T) {
+	a := RNNUnrolledArch("rnn", 32, 64, 3, 10)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 steps × 2 matrices + classifier = 7 FC layers
+	if got := a.WeightLayerCount(); got != 7 {
+		t.Fatalf("weight layers = %d, want 7", got)
+	}
+	m, err := Build(a, prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 32, 1, 1)
+	out := m.Forward(x, false)
+	if out.Dim(1) != 10 {
+		t.Fatalf("logits shape %v", out.Shape)
+	}
+}
+
+func TestRNNPanicsOnBadSteps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad steps accepted")
+		}
+	}()
+	RNNUnrolledArch("bad", 8, 8, 0, 2)
+}

@@ -1,0 +1,154 @@
+package models
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"seal/internal/nn"
+)
+
+// Checkpoint format: a minimal, versioned binary container for a model's
+// learnable state (weights, biases, batch-norm statistics). The format
+// is self-describing enough to reject mismatched architectures but
+// deliberately carries no architecture definition — construct the model
+// from its Arch first, then Load.
+//
+//	magic   "SEALCKPT"  (8 bytes)
+//	version uint32      (currently 1)
+//	params  uint32      number of tensors
+//	repeat: nameLen uint32, name, size uint32, float32 data (LE)
+
+const (
+	ckptMagic   = "SEALCKPT"
+	ckptVersion = 1
+)
+
+// Save writes the model's learnable state to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	tensors := m.stateTensors()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(tensors))); err != nil {
+		return err
+	}
+	for _, t := range tensors {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(t.name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.data))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4)
+		for _, v := range t.data {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores learnable state saved by Save into m. The model must
+// have the identical architecture: every tensor name and size must
+// match.
+func (m *Model) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("models: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return fmt.Errorf("models: not a SEAL checkpoint (magic %q)", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("models: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	tensors := m.stateTensors()
+	if int(count) != len(tensors) {
+		return fmt.Errorf("models: checkpoint has %d tensors, model %d", count, len(tensors))
+	}
+	byName := map[string][]float32{}
+	for _, t := range tensors {
+		if _, dup := byName[t.name]; dup {
+			return fmt.Errorf("models: duplicate state tensor %s", t.name)
+		}
+		byName[t.name] = t.data
+	}
+	buf := make([]byte, 4)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("models: implausible tensor name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		dst, ok := byName[string(name)]
+		if !ok {
+			return fmt.Errorf("models: checkpoint tensor %q not in model", name)
+		}
+		var size uint32
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return err
+		}
+		if int(size) != len(dst) {
+			return fmt.Errorf("models: tensor %q has %d values, model wants %d", name, size, len(dst))
+		}
+		for j := range dst {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return err
+			}
+			dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+		delete(byName, string(name))
+	}
+	return nil
+}
+
+type namedTensor struct {
+	name string
+	data []float32
+}
+
+// stateTensors enumerates every persistent tensor with a stable name:
+// learnable parameters plus batch-norm running statistics.
+func (m *Model) stateTensors() []namedTensor {
+	var out []namedTensor
+	for _, p := range m.Params() {
+		out = append(out, namedTensor{name: p.Name, data: p.W.Data})
+	}
+	i := 0
+	nn.WalkModules(m.Net, func(mod nn.Module) {
+		if bn, ok := mod.(*nn.BatchNorm2D); ok {
+			out = append(out,
+				namedTensor{name: fmt.Sprintf("%s#running_mean/%d", bn.Name, i), data: bn.RunningMean.Data},
+				namedTensor{name: fmt.Sprintf("%s#running_var/%d", bn.Name, i), data: bn.RunningVar.Data},
+			)
+			i++
+		}
+	})
+	return out
+}

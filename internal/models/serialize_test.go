@@ -1,0 +1,93 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := prng.New(51)
+	src, err := Build(ResNet18Arch().Scale(0.125, 0), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// touch BN running stats so they carry state
+	x := tensor.New(2, 3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = float32(r.NormFloat64())
+	}
+	src.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Build(ResNet18Arch().Scale(0.125, 0), prng.New(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.Equal(src.Forward(x, false), dst.Forward(x, false), 1e-6) {
+		t.Fatal("fresh model accidentally identical — test is vacuous")
+	}
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	if !tensor.Equal(a, b, 0) {
+		t.Fatal("loaded model differs from saved model")
+	}
+}
+
+func TestLoadRejectsWrongArch(t *testing.T) {
+	src, err := Build(VGG16Arch().Scale(0.125, 0), prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Build(ResNet18Arch().Scale(0.125, 0), prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Load(&buf); err == nil {
+		t.Fatal("cross-architecture load accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	m, err := Build(ResNet18Arch().Scale(0.125, 0), prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(bytes.NewReader([]byte("not a checkpoint at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := m.Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	src, err := Build(ResNet18Arch().Scale(0.125, 0), prng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()/2]
+	dst, err := Build(ResNet18Arch().Scale(0.125, 0), prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

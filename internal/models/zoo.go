@@ -1,0 +1,181 @@
+package models
+
+import "fmt"
+
+// VGG16Arch returns the CIFAR-10 VGG-16 geometry: 13 CONV layers in five
+// blocks separated by 2×2 max pools, then three FC layers (matching the
+// paper's 13/16 CONV ratio, §III-A).
+func VGG16Arch() *Arch {
+	a := &Arch{Name: "VGG-16", InC: 3, InH: 32, InW: 32, Classes: 10}
+	h, w := 32, 32
+	c := 3
+	block := func(idx, outC, n int) {
+		for i := 0; i < n; i++ {
+			a.Specs = append(a.Specs, LayerSpec{
+				Name: fmt.Sprintf("conv%d_%d", idx, i+1), Kind: KindConv,
+				InC: c, OutC: outC, InH: h, InW: w, K: 3, Stride: 1, Pad: 1,
+			})
+			c = outC
+		}
+		a.Specs = append(a.Specs, LayerSpec{
+			Name: fmt.Sprintf("pool%d", idx), Kind: KindPool,
+			InC: c, OutC: c, InH: h, InW: w, K: 2, Stride: 2,
+		})
+		h, w = h/2, w/2
+	}
+	block(1, 64, 2)
+	block(2, 128, 2)
+	block(3, 256, 3)
+	block(4, 512, 3)
+	block(5, 512, 3)
+	a.Specs = append(a.Specs,
+		LayerSpec{Name: "fc1", Kind: KindFC, InC: c * h * w, OutC: 512, InH: 1, InW: 1},
+		LayerSpec{Name: "fc2", Kind: KindFC, InC: 512, OutC: 512, InH: 1, InW: 1},
+		LayerSpec{Name: "fc3", Kind: KindFC, InC: 512, OutC: a.Classes, InH: 1, InW: 1},
+	)
+	return a
+}
+
+// resNetArch builds a CIFAR-10 ResNet with the ImageNet-style four-stage
+// channel progression (64/128/256/512) used by the paper's ResNet-18/34.
+// blocks gives the number of basic blocks per stage.
+func resNetArch(name string, blocks [4]int) *Arch {
+	a := &Arch{Name: name, InC: 3, InH: 32, InW: 32, Classes: 10}
+	h, w := 32, 32
+	c := 3
+	a.Specs = append(a.Specs, LayerSpec{
+		Name: "conv1", Kind: KindConv,
+		InC: c, OutC: 64, InH: h, InW: w, K: 3, Stride: 1, Pad: 1,
+	})
+	c = 64
+	stageC := []int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		outC := stageC[stage]
+		for b := 0; b < blocks[stage]; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			blockName := fmt.Sprintf("layer%d.block%d", stage+1, b+1)
+			a.Specs = append(a.Specs, LayerSpec{
+				Name: blockName + ".conv1", Kind: KindConv, Residual: true,
+				InC: c, OutC: outC, InH: h, InW: w, K: 3, Stride: stride, Pad: 1,
+			})
+			oh, ow := (h+2-3)/stride+1, (w+2-3)/stride+1
+			a.Specs = append(a.Specs, LayerSpec{
+				Name: blockName + ".conv2", Kind: KindConv, Residual: true,
+				InC: outC, OutC: outC, InH: oh, InW: ow, K: 3, Stride: 1, Pad: 1,
+			})
+			if stride != 1 || c != outC {
+				a.Specs = append(a.Specs, LayerSpec{
+					Name: blockName + ".shortcut", Kind: KindConv, Residual: true, ShortcutOf: blockName,
+					InC: c, OutC: outC, InH: h, InW: w, K: 1, Stride: stride, Pad: 0,
+				})
+			}
+			c, h, w = outC, oh, ow
+		}
+	}
+	a.Specs = append(a.Specs, LayerSpec{
+		Name: "gap", Kind: KindGlobalAvgPool,
+		InC: c, OutC: c, InH: h, InW: w, K: h, Stride: 1,
+	})
+	a.Specs = append(a.Specs, LayerSpec{
+		Name: "fc", Kind: KindFC, InC: c, OutC: a.Classes, InH: 1, InW: 1,
+	})
+	return a
+}
+
+// ResNet18Arch returns the ResNet-18 geometry (2,2,2,2 basic blocks;
+// 17 CONV + 1 FC, matching the paper's 17/18).
+func ResNet18Arch() *Arch { return resNetArch("ResNet-18", [4]int{2, 2, 2, 2}) }
+
+// ResNet34Arch returns the ResNet-34 geometry (3,4,6,3 basic blocks;
+// 33 CONV + 1 FC, matching the paper's 33/34).
+func ResNet34Arch() *Arch { return resNetArch("ResNet-34", [4]int{3, 4, 6, 3}) }
+
+// Archs returns the three evaluated architectures in the paper's order.
+func Archs() []*Arch {
+	return []*Arch{VGG16Arch(), ResNet18Arch(), ResNet34Arch()}
+}
+
+// ArchByName resolves one of "vgg16", "resnet18", "resnet34" (case
+// matters; these are CLI tokens).
+func ArchByName(name string) (*Arch, error) {
+	switch name {
+	case "vgg16":
+		return VGG16Arch(), nil
+	case "resnet18":
+		return ResNet18Arch(), nil
+	case "resnet34":
+		return ResNet34Arch(), nil
+	default:
+		return nil, fmt.Errorf("models: unknown architecture %q (want vgg16, resnet18 or resnet34)", name)
+	}
+}
+
+// Scale returns a copy of a with every channel count multiplied by mult
+// (minimum 4 channels) and, optionally, the input resized to inHW. FC
+// widths scale in proportion. Scaling preserves topology, so ℓ1-ranking
+// semantics and encryption-ratio behaviour carry over while making
+// pure-Go training tractable (see DESIGN.md substitution table).
+func (a *Arch) Scale(mult float64, inHW int) *Arch {
+	if mult <= 0 {
+		panic("models: non-positive width multiplier")
+	}
+	scaleC := func(c int) int {
+		if c == a.InC {
+			return c // never scale the image channels
+		}
+		v := int(float64(c)*mult + 0.5)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	if inHW <= 0 {
+		inHW = a.InH
+	}
+	out := &Arch{Name: a.Name, InC: a.InC, InH: inHW, InW: inHW, Classes: a.Classes}
+	c, h, w := out.InC, out.InH, out.InW
+	// Track dims ourselves: scaling rounds channel counts, so recompute
+	// every spec's input from the running shape.
+	branch := map[string][3]int{}
+	for _, s := range a.Specs {
+		ns := s
+		switch s.Kind {
+		case KindConv:
+			if s.ShortcutOf != "" {
+				in := branch[s.ShortcutOf]
+				ns.InC, ns.InH, ns.InW = in[0], in[1], in[2]
+			} else {
+				if s.Residual {
+					bn := blockOf(s.Name)
+					if _, seen := branch[bn]; !seen {
+						branch[bn] = [3]int{c, h, w}
+					}
+				}
+				ns.InC, ns.InH, ns.InW = c, h, w
+			}
+			ns.OutC = scaleC(s.OutC)
+			if s.ShortcutOf == "" {
+				c, h, w = ns.OutC, ns.OutH(), ns.OutW()
+			}
+		case KindPool:
+			ns.InC, ns.OutC, ns.InH, ns.InW = c, c, h, w
+			h, w = ns.OutH(), ns.OutW()
+		case KindGlobalAvgPool:
+			ns.InC, ns.OutC, ns.InH, ns.InW, ns.K = c, c, h, w, h
+			h, w = 1, 1
+		case KindFC:
+			ns.InC = c * h * w
+			if s.OutC == a.Classes {
+				ns.OutC = s.OutC
+			} else {
+				ns.OutC = scaleC(s.OutC)
+			}
+			c, h, w = ns.OutC, 1, 1
+		}
+		out.Specs = append(out.Specs, ns)
+	}
+	return out
+}

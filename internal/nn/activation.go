@@ -1,0 +1,51 @@
+package nn
+
+import "seal/internal/tensor"
+
+// ReLU is the rectified-linear activation, applied element-wise.
+type ReLU struct {
+	Name string
+	mask []bool // true where input was positive
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU(name string) *ReLU { return &ReLU{Name: name} }
+
+// LayerName implements Named.
+func (r *ReLU) LayerName() string { return r.Name }
+
+// Params implements Module.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if train {
+		r.mask = make([]bool, x.Size())
+	} else {
+		r.mask = nil
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			if r.mask != nil {
+				r.mask[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward called without a train-mode Forward")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		}
+	}
+	return dx
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+
+	"seal/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias-corrected
+// first and second moment estimates. Like SGD it honours per-parameter
+// freeze masks, so it can drive SEAL substitute fine-tuning as well.
+type Adam struct {
+	LR          float32
+	Beta1       float32
+	Beta2       float32
+	Eps         float32
+	WeightDecay float32
+
+	step int
+	m    map[*Param]*tensor.Tensor
+	v    map[*Param]*tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with the conventional defaults
+// for the moment decay rates.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*tensor.Tensor{},
+		v: map[*Param]*tensor.Tensor{},
+	}
+}
+
+// Step applies one update to every parameter and clears the gradients.
+func (o *Adam) Step(params []*Param) {
+	o.step++
+	c1 := 1 - float64(math.Pow(float64(o.Beta1), float64(o.step)))
+	c2 := 1 - float64(math.Pow(float64(o.Beta2), float64(o.step)))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = tensor.New(p.W.Shape...)
+			v = tensor.New(p.W.Shape...)
+			o.m[p] = m
+			o.v[p] = v
+		}
+		for i := range p.W.Data {
+			if p.Mask != nil && p.Mask.Data[i] == 0 {
+				continue
+			}
+			g := p.Grad.Data[i] + o.WeightDecay*p.W.Data[i]
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mh := float64(m.Data[i]) / c1
+			vh := float64(v.Data[i]) / c2
+			p.W.Data[i] -= o.LR * float32(mh/(math.Sqrt(vh)+float64(o.Eps)))
+		}
+		p.ZeroGrad()
+	}
+}

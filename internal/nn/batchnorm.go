@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math"
+
+	"seal/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of an NCHW batch to zero mean and
+// unit variance using batch statistics during training and running
+// statistics during inference.
+type BatchNorm2D struct {
+	Name     string
+	C        int
+	Eps      float32
+	Momentum float32 // running-stat update rate
+
+	Gamma *Param // [C] scale
+	Beta  *Param // [C] shift
+
+	RunningMean *tensor.Tensor // [C]
+	RunningVar  *tensor.Tensor // [C]
+
+	// cached forward state
+	xhat    *tensor.Tensor
+	invStd  []float32
+	inShape []int
+}
+
+// NewBatchNorm2D constructs a batch-norm layer for c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		Name:        name,
+		C:           c,
+		Eps:         1e-5,
+		Momentum:    0.1,
+		Gamma:       newParam(name+".gamma", c),
+		Beta:        newParam(name+".beta", c),
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.New(c),
+	}
+	bn.Gamma.W.Fill(1)
+	bn.RunningVar.Fill(1)
+	return bn
+}
+
+// LayerName implements Named.
+func (bn *BatchNorm2D) LayerName() string { return bn.Name }
+
+// Params implements Module.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Forward implements Module for x of shape [N, C, H, W].
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shapeCheck(bn.Name, x, 4)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.C {
+		panic("nn: BatchNorm2D channel mismatch")
+	}
+	out := tensor.New(x.Shape...)
+	plane := h * w
+	count := n * plane
+	bn.inShape = append([]int(nil), x.Shape...)
+	if train {
+		bn.xhat = tensor.New(x.Shape...)
+		bn.invStd = make([]float32, c)
+	} else {
+		bn.xhat = nil
+		bn.invStd = nil
+	}
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float32
+		if train {
+			var sum float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					sum += float64(x.Data[base+j])
+				}
+			}
+			mean = float32(sum / float64(count))
+			var sq float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					d := x.Data[base+j] - mean
+					sq += float64(d) * float64(d)
+				}
+			}
+			variance = float32(sq / float64(count))
+			bn.RunningMean.Data[ch] = (1-bn.Momentum)*bn.RunningMean.Data[ch] + bn.Momentum*mean
+			bn.RunningVar.Data[ch] = (1-bn.Momentum)*bn.RunningVar.Data[ch] + bn.Momentum*variance
+		} else {
+			mean = bn.RunningMean.Data[ch]
+			variance = bn.RunningVar.Data[ch]
+		}
+		invStd := float32(1 / math.Sqrt(float64(variance)+float64(bn.Eps)))
+		g, b := bn.Gamma.W.Data[ch], bn.Beta.W.Data[ch]
+		if train {
+			bn.invStd[ch] = invStd
+		}
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				xh := (x.Data[base+j] - mean) * invStd
+				if train {
+					bn.xhat.Data[base+j] = xh
+				}
+				out.Data[base+j] = g*xh + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module using the standard batch-norm gradient.
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if bn.xhat == nil {
+		panic("nn: BatchNorm2D.Backward called without a train-mode Forward")
+	}
+	n, c, h, w := bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3]
+	plane := h * w
+	count := float32(n * plane)
+	dx := tensor.New(bn.inShape...)
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dy := grad.Data[base+j]
+				sumDy += float64(dy)
+				sumDyXhat += float64(dy) * float64(bn.xhat.Data[base+j])
+			}
+		}
+		bn.Beta.Grad.Data[ch] += float32(sumDy)
+		bn.Gamma.Grad.Data[ch] += float32(sumDyXhat)
+		g := bn.Gamma.W.Data[ch]
+		invStd := bn.invStd[ch]
+		meanDy := float32(sumDy) / count
+		meanDyXhat := float32(sumDyXhat) / count
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				xh := bn.xhat.Data[base+j]
+				dy := grad.Data[base+j]
+				dx.Data[base+j] = g * invStd * (dy - meanDy - xh*meanDyXhat)
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over NCHW batches. The weight tensor
+// has shape [OutC, InC, KH, KW]; viewed as the paper's kernel matrix it
+// has n_y = OutC kernel columns and n_x = InC kernel rows, and kernel row
+// i (the slice W[:, i, :, :]) touches only input channel i — the
+// structural fact SEAL's smart encryption exploits (paper Figure 2).
+type Conv2D struct {
+	Name    string
+	Geom    tensor.ConvGeom
+	OutC    int
+	Weight  *Param
+	Bias    *Param
+	UseBias bool
+
+	// cached forward state for backprop
+	cols    []*tensor.Tensor // per-sample im2col matrices
+	inShape []int
+}
+
+// NewConv2D constructs a convolution layer with He initialization.
+func NewConv2D(name string, r *prng.Source, inC, outC, k, stride, pad, inH, inW int) *Conv2D {
+	g := tensor.ConvGeom{InC: inC, InH: inH, InW: inW, KH: k, KW: k, Stride: stride, Pad: pad}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Conv2D{
+		Name:    name,
+		Geom:    g,
+		OutC:    outC,
+		Weight:  newParam(name+".weight", outC, inC, k, k),
+		Bias:    newParam(name+".bias", outC),
+		UseBias: true,
+	}
+	heFanIn(r, c.Weight.W, inC*k*k)
+	return c
+}
+
+// LayerName implements Named.
+func (c *Conv2D) LayerName() string { return c.Name }
+
+// Params implements Module.
+func (c *Conv2D) Params() []*Param {
+	if c.UseBias {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// KernelMatrix returns the weights viewed as the paper's 2-D kernel
+// matrix of shape [OutC, InC*KH*KW]. It shares storage with the weights.
+func (c *Conv2D) KernelMatrix() *tensor.Tensor {
+	return c.Weight.W.Reshape(c.OutC, c.Geom.InC*c.Geom.KH*c.Geom.KW)
+}
+
+// Forward implements Module for a batch x of shape [N, InC, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shapeCheck(c.Name, x, 4)
+	n := x.Dim(0)
+	g := c.Geom
+	if x.Dim(1) != g.InC || x.Dim(2) != g.InH || x.Dim(3) != g.InW {
+		panic(fmt.Sprintf("nn: %s input %v does not match geometry %+v", c.Name, x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	out := tensor.New(n, c.OutC, oh, ow)
+	wMat := c.KernelMatrix()
+	c.cols = make([]*tensor.Tensor, n)
+	c.inShape = append([]int(nil), x.Shape...)
+	perIn := g.InC * g.InH * g.InW
+	perOut := c.OutC * oh * ow
+	outMat := tensor.New(c.OutC, oh*ow)
+	for i := 0; i < n; i++ {
+		img := tensor.FromSlice(x.Data[i*perIn:(i+1)*perIn], g.InC, g.InH, g.InW)
+		cols := tensor.Im2Col(img, g)
+		c.cols[i] = cols
+		tensor.MatMulInto(outMat, wMat, cols)
+		copy(out.Data[i*perOut:(i+1)*perOut], outMat.Data)
+	}
+	if c.UseBias {
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.W.Data[oc]
+				base := (i*c.OutC + oc) * oh * ow
+				for j := 0; j < oh*ow; j++ {
+					out.Data[base+j] += b
+				}
+			}
+		}
+	}
+	if !train {
+		c.cols = nil // free the caches when running inference only
+	}
+	return out
+}
+
+// Backward implements Module. grad has shape [N, OutC, OutH, OutW].
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward called without a train-mode Forward")
+	}
+	n := grad.Dim(0)
+	g := c.Geom
+	oh, ow := g.OutH(), g.OutW()
+	wMat := c.KernelMatrix()
+	gradW := c.Weight.Grad.Reshape(c.OutC, g.InC*g.KH*g.KW)
+	dx := tensor.New(c.inShape...)
+	perIn := g.InC * g.InH * g.InW
+	perOut := c.OutC * oh * ow
+	for i := 0; i < n; i++ {
+		gMat := tensor.FromSlice(grad.Data[i*perOut:(i+1)*perOut], c.OutC, oh*ow)
+		// dW += gMat × colsᵀ
+		gw := tensor.MatMulTransB(gMat, c.cols[i])
+		gradW.Add(gw)
+		// dCols = Wᵀ × gMat ; dX = col2im(dCols)
+		dCols := tensor.MatMulTransA(wMat, gMat)
+		img := tensor.Col2Im(dCols, g)
+		copy(dx.Data[i*perIn:(i+1)*perIn], img.Data)
+	}
+	if c.UseBias {
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				base := (i*c.OutC + oc) * oh * ow
+				var s float32
+				for j := 0; j < oh*ow; j++ {
+					s += grad.Data[base+j]
+				}
+				c.Bias.Grad.Data[oc] += s
+			}
+		}
+	}
+	return dx
+}
+
+// Linear is a fully-connected layer: y = xW¹ + b with W of shape
+// [Out, In]. Like Conv2D, column j of x (input feature j) interacts only
+// with weight column j, so the SE scheme applies to FC layers as well
+// (paper §III-A, final paragraph).
+type Linear struct {
+	Name   string
+	In     int
+	Out    int
+	Weight *Param // [Out, In]
+	Bias   *Param // [Out]
+
+	x *tensor.Tensor // cached input [N, In]
+}
+
+// NewLinear constructs a fully-connected layer with He initialization.
+func NewLinear(name string, r *prng.Source, in, out int) *Linear {
+	l := &Linear{
+		Name:   name,
+		In:     in,
+		Out:    out,
+		Weight: newParam(name+".weight", out, in),
+		Bias:   newParam(name+".bias", out),
+	}
+	heFanIn(r, l.Weight.W, in)
+	return l
+}
+
+// LayerName implements Named.
+func (l *Linear) LayerName() string { return l.Name }
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward implements Module for x of shape [N, In].
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shapeCheck(l.Name, x, 2)
+	if x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s input width %d, want %d", l.Name, x.Dim(1), l.In))
+	}
+	if train {
+		l.x = x
+	} else {
+		l.x = nil
+	}
+	out := tensor.MatMulTransB(x, l.Weight.W) // [N,In]×[Out,In]ᵀ = [N,Out]
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Module. grad has shape [N, Out].
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic("nn: Linear.Backward called without a train-mode Forward")
+	}
+	// dW = gradᵀ × x  → [Out, In]
+	gw := tensor.MatMulTransA(grad, l.x)
+	l.Weight.Grad.Add(gw)
+	n := grad.Dim(0)
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*l.Out : (i+1)*l.Out]
+		for j, v := range row {
+			l.Bias.Grad.Data[j] += v
+		}
+	}
+	// dx = grad × W → [N, In]
+	return tensor.MatMul(grad, l.Weight.W)
+}

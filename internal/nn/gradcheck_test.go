@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dTheta for every element of theta by
+// central differences, where loss() re-runs the forward pass.
+func numericalGrad(theta *tensor.Tensor, loss func() float64, eps float32) *tensor.Tensor {
+	g := tensor.New(theta.Shape...)
+	for i := range theta.Data {
+		orig := theta.Data[i]
+		theta.Data[i] = orig + eps
+		lp := loss()
+		theta.Data[i] = orig - eps
+		lm := loss()
+		theta.Data[i] = orig
+		g.Data[i] = float32((lp - lm) / (2 * float64(eps)))
+	}
+	return g
+}
+
+// checkGrads compares analytic and numeric gradients using relative L2
+// error, which tolerates the isolated elements whose ±ε perturbation
+// crosses a ReLU kink while still catching genuine backprop bugs.
+func checkGrads(t *testing.T, name string, analytic, numeric *tensor.Tensor) {
+	t.Helper()
+	var diffSq, aSq, nSq float64
+	for i := range analytic.Data {
+		a, n := float64(analytic.Data[i]), float64(numeric.Data[i])
+		diffSq += (a - n) * (a - n)
+		aSq += a * a
+		nSq += n * n
+	}
+	denom := math.Max(math.Sqrt(aSq), math.Sqrt(nSq))
+	denom = math.Max(denom, 1e-8)
+	rel := math.Sqrt(diffSq) / denom
+	if rel > 0.03 {
+		t.Fatalf("%s: relative L2 gradient error %.4f", name, rel)
+	}
+}
+
+// lossOf runs a full train-mode forward + cross-entropy on a module.
+func lossOf(m Module, x *tensor.Tensor, labels []int) float64 {
+	out := m.Forward(x, true)
+	if out.Rank() == 4 {
+		n := out.Dim(0)
+		out = out.Reshape(n, out.Size()/n)
+	}
+	l, _ := SoftmaxCrossEntropy(out, labels)
+	return l
+}
+
+// backOf runs forward+backward once and returns dL/dx.
+func backOf(m Module, x *tensor.Tensor, labels []int) *tensor.Tensor {
+	out := m.Forward(x, true)
+	shape4 := out.Rank() == 4
+	var outShape []int
+	if shape4 {
+		outShape = append([]int(nil), out.Shape...)
+		n := out.Dim(0)
+		out = out.Reshape(n, out.Size()/n)
+	}
+	_, grad := SoftmaxCrossEntropy(out, labels)
+	if shape4 {
+		grad = grad.Reshape(outShape...)
+	}
+	return m.Backward(grad)
+}
+
+func TestConv2DGradients(t *testing.T) {
+	r := prng.New(17)
+	conv := NewConv2D("conv", r, 2, 3, 3, 1, 1, 5, 5)
+	x := randInput(r, 2, 2, 5, 5)
+	labels := []int{7, 42}
+
+	ZeroGrads(conv.Params())
+	dx := backOf(conv, x, labels)
+
+	loss := func() float64 { return lossOf(conv, x, labels) }
+	checkGrads(t, "conv weight", conv.Weight.Grad, numericalGrad(conv.Weight.W, loss, 1e-2))
+	checkGrads(t, "conv bias", conv.Bias.Grad, numericalGrad(conv.Bias.W, loss, 1e-2))
+	checkGrads(t, "conv input", dx, numericalGrad(x, loss, 1e-2))
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	r := prng.New(19)
+	conv := NewConv2D("conv", r, 3, 2, 3, 2, 1, 6, 6)
+	x := randInput(r, 1, 3, 6, 6)
+	labels := []int{5}
+
+	ZeroGrads(conv.Params())
+	dx := backOf(conv, x, labels)
+	loss := func() float64 { return lossOf(conv, x, labels) }
+	checkGrads(t, "strided conv weight", conv.Weight.Grad, numericalGrad(conv.Weight.W, loss, 1e-2))
+	checkGrads(t, "strided conv input", dx, numericalGrad(x, loss, 1e-2))
+}
+
+func TestLinearGradients(t *testing.T) {
+	r := prng.New(23)
+	lin := NewLinear("fc", r, 6, 4)
+	x := randInput(r, 3, 6)
+	labels := []int{0, 3, 1}
+
+	ZeroGrads(lin.Params())
+	dx := backOf(lin, x, labels)
+	loss := func() float64 { return lossOf(lin, x, labels) }
+	checkGrads(t, "linear weight", lin.Weight.Grad, numericalGrad(lin.Weight.W, loss, 1e-2))
+	checkGrads(t, "linear bias", lin.Bias.Grad, numericalGrad(lin.Bias.W, loss, 1e-2))
+	checkGrads(t, "linear input", dx, numericalGrad(x, loss, 1e-2))
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	r := prng.New(29)
+	pool := NewMaxPool2D("pool", 2, 2)
+	x := randInput(r, 2, 1, 4, 4)
+	labels := []int{1, 2}
+
+	dx := backOf(pool, x, labels)
+	loss := func() float64 { return lossOf(pool, x, labels) }
+	checkGrads(t, "maxpool input", dx, numericalGrad(x, loss, 1e-3))
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	r := prng.New(31)
+	pool := NewAvgPool2D("pool", 2, 2)
+	x := randInput(r, 2, 2, 4, 4)
+	labels := []int{1, 6}
+
+	dx := backOf(pool, x, labels)
+	loss := func() float64 { return lossOf(pool, x, labels) }
+	checkGrads(t, "avgpool input", dx, numericalGrad(x, loss, 1e-3))
+}
+
+func TestReLUGradients(t *testing.T) {
+	r := prng.New(37)
+	relu := NewReLU("relu")
+	x := randInput(r, 2, 8)
+	// keep values away from the kink to make the numeric check meaningful
+	for i := range x.Data {
+		if v := x.Data[i]; v > -0.05 && v < 0.05 {
+			x.Data[i] = 0.2
+		}
+	}
+	labels := []int{1, 5}
+	dx := backOf(relu, x, labels)
+	loss := func() float64 { return lossOf(relu, x, labels) }
+	checkGrads(t, "relu input", dx, numericalGrad(x, loss, 1e-3))
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	r := prng.New(41)
+	bn := NewBatchNorm2D("bn", 3)
+	x := randInput(r, 4, 3, 3, 3)
+	labels := []int{2, 9, 14, 25}
+
+	ZeroGrads(bn.Params())
+	dx := backOf(bn, x, labels)
+	loss := func() float64 { return lossOf(bn, x, labels) }
+	checkGrads(t, "bn gamma", bn.Gamma.Grad, numericalGrad(bn.Gamma.W, loss, 1e-2))
+	checkGrads(t, "bn beta", bn.Beta.Grad, numericalGrad(bn.Beta.W, loss, 1e-2))
+	checkGrads(t, "bn input", dx, numericalGrad(x, loss, 1e-2))
+}
+
+func TestResidualBlockGradients(t *testing.T) {
+	r := prng.New(43)
+	blk := newBasicBlockForTest(r, 2, 3, 2, 4, 4)
+	x := randInput(r, 2, 2, 4, 4)
+	labels := []int{1, 10}
+
+	ZeroGrads(blk.Params())
+	dx := backOf(blk, x, labels)
+	loss := func() float64 { return lossOf(blk, x, labels) }
+	checkGrads(t, "resblock conv1 weight", blk.Conv1.Weight.Grad, numericalGrad(blk.Conv1.Weight.W, loss, 1e-2))
+	checkGrads(t, "resblock shortcut weight", blk.Shortcut.Weight.Grad, numericalGrad(blk.Shortcut.Weight.W, loss, 1e-2))
+	checkGrads(t, "resblock input", dx, numericalGrad(x, loss, 1e-2))
+}
+
+// newBasicBlockForTest builds a projection residual block without pulling
+// in the models package (which depends on nn).
+func newBasicBlockForTest(r *prng.Source, inC, outC, stride, inH, inW int) *ResidualBlock {
+	b := &ResidualBlock{
+		Name:  "block",
+		Conv1: NewConv2D("block.conv1", r, inC, outC, 3, stride, 1, inH, inW),
+		BN1:   NewBatchNorm2D("block.bn1", outC),
+		Relu1: NewReLU("block.relu1"),
+	}
+	oh, ow := b.Conv1.Geom.OutH(), b.Conv1.Geom.OutW()
+	b.Conv2 = NewConv2D("block.conv2", r, outC, outC, 3, 1, 1, oh, ow)
+	b.BN2 = NewBatchNorm2D("block.bn2", outC)
+	if stride != 1 || inC != outC {
+		b.Shortcut = NewConv2D("block.shortcut", r, inC, outC, 1, stride, 0, inH, inW)
+		b.ShortcutBN = NewBatchNorm2D("block.shortcutbn", outC)
+	}
+	return b
+}
+
+func randInput(r *prng.Source, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = float32(r.NormFloat64())
+	}
+	return x
+}

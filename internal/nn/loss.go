@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+
+	"seal/internal/tensor"
+)
+
+// Softmax writes the row-wise softmax of logits [N, K] into a new tensor,
+// using the max-subtraction trick for numerical stability.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	shapeCheck("Softmax", logits, 2)
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		dst := out.Data[i*k : (i+1)*k]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy returns the mean cross-entropy loss of logits
+// [N, K] against integer labels, plus dL/dlogits (already divided by N,
+// ready to feed into Backward).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: label count does not match batch size")
+	}
+	probs := Softmax(logits)
+	grad := tensor.New(n, k)
+	invN := float32(1 / float64(n))
+	var loss float64
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic("nn: label out of range")
+		}
+		p := probs.Data[i*k+y]
+		// clamp to avoid log(0) on confidently wrong predictions
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		for j := 0; j < k; j++ {
+			g := probs.Data[i*k+j]
+			if j == y {
+				g -= 1
+			}
+			grad.Data[i*k+j] = g * invN
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Accuracy returns the fraction of rows of logits [N, K] whose argmax
+// equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Dim(0), logits.Dim(1)
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := tensor.FromSlice(logits.Data[i*k:(i+1)*k], k)
+		if row.ArgMax() == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,160 @@
+package nn
+
+import "seal/internal/tensor"
+
+// Sequential chains modules, feeding each module's output to the next.
+type Sequential struct {
+	Name    string
+	Modules []Module
+}
+
+// NewSequential constructs a sequential container.
+func NewSequential(name string, mods ...Module) *Sequential {
+	return &Sequential{Name: name, Modules: mods}
+}
+
+// LayerName implements Named.
+func (s *Sequential) LayerName() string { return s.Name }
+
+// Add appends a module.
+func (s *Sequential) Add(m Module) { s.Modules = append(s.Modules, m) }
+
+// Params implements Module.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, m := range s.Modules {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// Forward implements Module.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, m := range s.Modules {
+		x = m.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Module.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Modules) - 1; i >= 0; i-- {
+		grad = s.Modules[i].Backward(grad)
+	}
+	return grad
+}
+
+// ResidualBlock is the ResNet basic block: two 3×3 conv+BN stages with a
+// ReLU between them, an identity or 1×1-conv shortcut, and a final ReLU
+// applied to the sum.
+type ResidualBlock struct {
+	Name  string
+	Conv1 *Conv2D
+	BN1   *BatchNorm2D
+	Relu1 *ReLU
+	Conv2 *Conv2D
+	BN2   *BatchNorm2D
+	// Shortcut is nil for identity; otherwise a strided 1×1 projection.
+	Shortcut   *Conv2D
+	ShortcutBN *BatchNorm2D
+
+	reluMask []bool // mask of the final ReLU
+}
+
+// Params implements Module.
+func (b *ResidualBlock) Params() []*Param {
+	var out []*Param
+	out = append(out, b.Conv1.Params()...)
+	out = append(out, b.BN1.Params()...)
+	out = append(out, b.Conv2.Params()...)
+	out = append(out, b.BN2.Params()...)
+	if b.Shortcut != nil {
+		out = append(out, b.Shortcut.Params()...)
+		out = append(out, b.ShortcutBN.Params()...)
+	}
+	return out
+}
+
+// LayerName implements Named.
+func (b *ResidualBlock) LayerName() string { return b.Name }
+
+// Forward implements Module.
+func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := b.Conv1.Forward(x, train)
+	main = b.BN1.Forward(main, train)
+	main = b.Relu1.Forward(main, train)
+	main = b.Conv2.Forward(main, train)
+	main = b.BN2.Forward(main, train)
+
+	short := x
+	if b.Shortcut != nil {
+		short = b.Shortcut.Forward(x, train)
+		short = b.ShortcutBN.Forward(short, train)
+	}
+	out := tensor.New(main.Shape...)
+	if train {
+		b.reluMask = make([]bool, out.Size())
+	} else {
+		b.reluMask = nil
+	}
+	for i := range out.Data {
+		v := main.Data[i] + short.Data[i]
+		if v > 0 {
+			out.Data[i] = v
+			if b.reluMask != nil {
+				b.reluMask[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (b *ResidualBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.reluMask == nil {
+		panic("nn: ResidualBlock.Backward called without a train-mode Forward")
+	}
+	g := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		if b.reluMask[i] {
+			g.Data[i] = v
+		}
+	}
+	dMain := b.BN2.Backward(g)
+	dMain = b.Conv2.Backward(dMain)
+	dMain = b.Relu1.Backward(dMain)
+	dMain = b.BN1.Backward(dMain)
+	dx := b.Conv1.Backward(dMain)
+
+	if b.Shortcut != nil {
+		dShort := b.ShortcutBN.Backward(g)
+		dShort = b.Shortcut.Backward(dShort)
+		dx.Add(dShort)
+	} else {
+		dx.Add(g)
+	}
+	return dx
+}
+
+// WalkModules visits m and every module nested inside Sequential and
+// ResidualBlock containers in execution order.
+func WalkModules(m Module, visit func(Module)) {
+	switch v := m.(type) {
+	case *Sequential:
+		for _, child := range v.Modules {
+			WalkModules(child, visit)
+		}
+	case *ResidualBlock:
+		visit(v.Conv1)
+		visit(v.BN1)
+		visit(v.Relu1)
+		visit(v.Conv2)
+		visit(v.BN2)
+		if v.Shortcut != nil {
+			visit(v.Shortcut)
+			visit(v.ShortcutBN)
+		}
+	default:
+		visit(m)
+	}
+}

@@ -1,0 +1,382 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	r := prng.New(1)
+	logits := randInput(r, 5, 10)
+	logits.Scale(10) // stress stability
+	p := Softmax(logits)
+	for i := 0; i < 5; i++ {
+		var s float64
+		for j := 0; j < 10; j++ {
+			v := p.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("prob out of range: %v", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxStableUnderLargeLogits(t *testing.T) {
+	logits := tensor.FromSlice([]float32{1000, 1001, 999}, 1, 3)
+	p := Softmax(logits)
+	for _, v := range p.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax unstable: %v", p.Data)
+		}
+	}
+	if p.Data[1] < p.Data[0] || p.Data[0] < p.Data[2] {
+		t.Fatalf("softmax ordering wrong: %v", p.Data)
+	}
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := tensor.FromSlice([]float32{100, 0, 0, 0, 100, 0}, 2, 3)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 1})
+	if loss > 1e-6 {
+		t.Fatalf("loss for perfect prediction = %v", loss)
+	}
+	if grad.MaxAbs() > 1e-6 {
+		t.Fatalf("gradient for perfect prediction = %v", grad.MaxAbs())
+	}
+}
+
+func TestCrossEntropyUniformLogits(t *testing.T) {
+	logits := tensor.New(1, 4) // all zeros → uniform distribution
+	loss, _ := SoftmaxCrossEntropy(logits, []int{2})
+	want := math.Log(4)
+	if math.Abs(loss-want) > 1e-6 {
+		t.Fatalf("uniform loss = %v, want %v", loss, want)
+	}
+}
+
+func TestCrossEntropyGradSumsToZeroPerRow(t *testing.T) {
+	r := prng.New(2)
+	logits := randInput(r, 4, 7)
+	_, grad := SoftmaxCrossEntropy(logits, []int{0, 1, 2, 3})
+	for i := 0; i < 4; i++ {
+		var s float64
+		for j := 0; j < 7; j++ {
+			s += float64(grad.At(i, j))
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("row %d grad sums to %v", i, s)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 2, 3, // argmax 2
+		9, 1, 1, // argmax 0
+		0, 5, 1, // argmax 1
+	}, 3, 3)
+	if a := Accuracy(logits, []int{2, 0, 0}); math.Abs(a-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v", a)
+	}
+}
+
+func TestSGDStepReducesLoss(t *testing.T) {
+	r := prng.New(3)
+	lin := NewLinear("fc", r, 8, 3)
+	x := randInput(r, 16, 8)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	opt := NewSGD(0.1, 0.9, 0)
+	first := lossOf(lin, x, labels)
+	loss := first
+	for step := 0; step < 50; step++ {
+		out := lin.Forward(x, true)
+		var grad *tensor.Tensor
+		loss, grad = SoftmaxCrossEntropy(out, labels)
+		lin.Backward(grad)
+		opt.Step(lin.Params())
+	}
+	if loss >= first*0.8 {
+		t.Fatalf("SGD failed to reduce loss: %v -> %v", first, loss)
+	}
+}
+
+func TestSGDRespectsFreezeMask(t *testing.T) {
+	r := prng.New(4)
+	lin := NewLinear("fc", r, 4, 2)
+	frozen := lin.Weight.W.Clone()
+	// Freeze the first row of the weight matrix, train the second.
+	lin.Weight.Mask = tensor.New(2, 4)
+	for j := 0; j < 4; j++ {
+		lin.Weight.Mask.Data[4+j] = 1
+	}
+	lin.Bias.FreezeAll()
+	x := randInput(r, 8, 4)
+	labels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	opt := NewSGD(0.5, 0, 0)
+	for step := 0; step < 10; step++ {
+		out := lin.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(out, labels)
+		lin.Backward(grad)
+		opt.Step(lin.Params())
+	}
+	for j := 0; j < 4; j++ {
+		if lin.Weight.W.Data[j] != frozen.Data[j] {
+			t.Fatalf("frozen weight %d changed: %v -> %v", j, frozen.Data[j], lin.Weight.W.Data[j])
+		}
+	}
+	changed := false
+	for j := 4; j < 8; j++ {
+		if lin.Weight.W.Data[j] != frozen.Data[j] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("trainable row never changed")
+	}
+	for j := 0; j < 2; j++ {
+		if lin.Bias.W.Data[j] != 0 && lin.Bias.Grad.Data[j] != 0 {
+			// bias starts at zero; FreezeAll must pin it there
+			t.Fatalf("frozen bias moved: %v", lin.Bias.W.Data)
+		}
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	p := newParam("w", 4)
+	p.W.Fill(1)
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{p}) // grad is zero, decay only
+	for _, v := range p.W.Data {
+		if math.Abs(float64(v)-0.95) > 1e-6 {
+			t.Fatalf("decay step produced %v, want 0.95", v)
+		}
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", 4)
+	p.Grad.Fill(3) // norm = 6
+	norm := ClipGradNorm([]*Param{p}, 3)
+	if math.Abs(norm-6) > 1e-9 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	var sq float64
+	for _, v := range p.Grad.Data {
+		sq += float64(v) * float64(v)
+	}
+	if math.Abs(math.Sqrt(sq)-3) > 1e-5 {
+		t.Fatalf("post-clip norm = %v", math.Sqrt(sq))
+	}
+}
+
+func TestBatchNormTrainStatistics(t *testing.T) {
+	r := prng.New(5)
+	bn := NewBatchNorm2D("bn", 2)
+	x := randInput(r, 8, 2, 4, 4)
+	// shift channel 1 strongly
+	for i := 0; i < 8; i++ {
+		base := (i*2 + 1) * 16
+		for j := 0; j < 16; j++ {
+			x.Data[base+j] += 10
+		}
+	}
+	out := bn.Forward(x, true)
+	for ch := 0; ch < 2; ch++ {
+		var sum, sq float64
+		for i := 0; i < 8; i++ {
+			base := (i*2 + ch) * 16
+			for j := 0; j < 16; j++ {
+				v := float64(out.Data[base+j])
+				sum += v
+				sq += v * v
+			}
+		}
+		n := float64(8 * 16)
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d normalized mean = %v", ch, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d normalized var = %v", ch, variance)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	r := prng.New(6)
+	bn := NewBatchNorm2D("bn", 1)
+	// train on shifted data for several batches so running stats converge
+	for i := 0; i < 50; i++ {
+		x := randInput(r, 4, 1, 2, 2)
+		for j := range x.Data {
+			x.Data[j] = x.Data[j]*2 + 5
+		}
+		bn.Forward(x, true)
+	}
+	if math.Abs(float64(bn.RunningMean.Data[0])-5) > 0.5 {
+		t.Fatalf("running mean = %v, want ≈5", bn.RunningMean.Data[0])
+	}
+	// eval on a constant input: output should be (5-mean)/std ≈ 0
+	x := tensor.New(1, 1, 2, 2)
+	x.Fill(5)
+	out := bn.Forward(x, false)
+	if math.Abs(float64(out.Data[0])) > 0.3 {
+		t.Fatalf("eval-mode output %v, want ≈0", out.Data[0])
+	}
+}
+
+func TestSequentialForwardBackwardShapes(t *testing.T) {
+	r := prng.New(7)
+	net := NewSequential("net",
+		NewConv2D("c1", r, 3, 8, 3, 1, 1, 8, 8),
+		NewBatchNorm2D("bn1", 8),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", 2, 2),
+		NewFlatten("flat"),
+		NewLinear("fc", r, 8*4*4, 10),
+	)
+	x := randInput(r, 2, 3, 8, 8)
+	out := net.Forward(x, true)
+	if out.Dim(0) != 2 || out.Dim(1) != 10 {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+	_, grad := SoftmaxCrossEntropy(out, []int{3, 7})
+	dx := net.Backward(grad)
+	if !tensor.SameShape(dx, x) {
+		t.Fatalf("input gradient shape %v, want %v", dx.Shape, x.Shape)
+	}
+}
+
+func TestSequentialTrainsXORLikeTask(t *testing.T) {
+	// A small conv net must be able to fit 32 random samples — a smoke
+	// test that the whole training loop (forward, backward, SGD) works
+	// end to end.
+	r := prng.New(8)
+	net := NewSequential("net",
+		NewConv2D("c1", r, 1, 4, 3, 1, 1, 6, 6),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", 2, 2),
+		NewFlatten("flat"),
+		NewLinear("fc", r, 4*3*3, 2),
+	)
+	x := randInput(r, 32, 1, 6, 6)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = r.Intn(2)
+	}
+	opt := NewSGD(0.05, 0.9, 0)
+	var acc float64
+	for epoch := 0; epoch < 200; epoch++ {
+		out := net.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(out, labels)
+		net.Backward(grad)
+		opt.Step(net.Params())
+		if epoch%20 == 0 {
+			acc = Accuracy(net.Forward(x, false), labels)
+			if acc == 1 {
+				break
+			}
+		}
+	}
+	acc = Accuracy(net.Forward(x, false), labels)
+	if acc < 0.9 {
+		t.Fatalf("failed to overfit 32 samples: accuracy %v", acc)
+	}
+}
+
+func TestMaxPoolForwardValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	pool := NewMaxPool2D("p", 2, 2)
+	out := pool.Forward(x, false)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("maxpool[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestAvgPoolForwardValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	pool := NewAvgPool2D("p", 2, 2)
+	out := pool.Forward(x, false)
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("avgpool[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestConvKernelMatrixSharesStorage(t *testing.T) {
+	r := prng.New(9)
+	conv := NewConv2D("c", r, 2, 3, 3, 1, 1, 4, 4)
+	km := conv.KernelMatrix()
+	if km.Dim(0) != 3 || km.Dim(1) != 2*3*3 {
+		t.Fatalf("kernel matrix shape %v", km.Shape)
+	}
+	km.Data[0] = 123
+	if conv.Weight.W.Data[0] != 123 {
+		t.Fatal("KernelMatrix does not share storage")
+	}
+}
+
+func TestWalkModulesVisitsNested(t *testing.T) {
+	r := prng.New(10)
+	blk := newBasicBlockForTest(r, 2, 2, 1, 4, 4)
+	net := NewSequential("net",
+		NewConv2D("c0", r, 3, 2, 3, 1, 1, 4, 4),
+		blk,
+		NewFlatten("f"),
+	)
+	var names []string
+	WalkModules(net, func(m Module) {
+		if n, ok := m.(Named); ok {
+			names = append(names, n.LayerName())
+		}
+	})
+	// identity block: conv1, bn1, relu1, conv2, bn2 (no shortcut)
+	want := []string{"c0", "block.conv1", "block.bn1", "block.relu1", "block.conv2", "block.bn2", "f"}
+	if len(names) != len(want) {
+		t.Fatalf("visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("visited %v, want %v", names, want)
+		}
+	}
+}
+
+func TestInferenceModeDropsCaches(t *testing.T) {
+	r := prng.New(11)
+	conv := NewConv2D("c", r, 1, 1, 3, 1, 1, 4, 4)
+	x := randInput(r, 1, 1, 4, 4)
+	conv.Forward(x, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward after eval-mode Forward did not panic")
+		}
+	}()
+	conv.Backward(tensor.New(1, 1, 4, 4))
+}

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"seal/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer over NCHW batches.
+type MaxPool2D struct {
+	Name        string
+	K, Stride   int
+	argmax      []int32 // flat input index per output element
+	inShape     []int
+	outElements int
+}
+
+// NewMaxPool2D constructs a max-pooling layer with a square window.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	if k <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: bad pool parameters k=%d stride=%d", k, stride))
+	}
+	return &MaxPool2D{Name: name, K: k, Stride: stride}
+}
+
+// LayerName implements Named.
+func (p *MaxPool2D) LayerName() string { return p.Name }
+
+// Params implements Module.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Module for x of shape [N, C, H, W].
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shapeCheck(p.Name, x, 4)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.K)/p.Stride + 1
+	ow := (w-p.K)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s window %d/%d too large for input %v", p.Name, p.K, p.Stride, x.Shape))
+	}
+	out := tensor.New(n, c, oh, ow)
+	p.inShape = append([]int(nil), x.Shape...)
+	p.outElements = out.Size()
+	if train {
+		p.argmax = make([]int32, out.Size())
+	} else {
+		p.argmax = nil
+	}
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := 0
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride + ky
+						rowBase := iy * w
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride + kx
+							if v := plane[rowBase+ix]; v > best {
+								best = v
+								bestIdx = rowBase + ix
+							}
+						}
+					}
+					out.Data[oi] = best
+					if p.argmax != nil {
+						p.argmax[oi] = int32((i*c+ch)*h*w + bestIdx)
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module, routing each output gradient to the input
+// position that won the max.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2D.Backward called without a train-mode Forward")
+	}
+	if grad.Size() != p.outElements {
+		panic("nn: MaxPool2D.Backward gradient size mismatch")
+	}
+	dx := tensor.New(p.inShape...)
+	for i, g := range grad.Data {
+		dx.Data[p.argmax[i]] += g
+	}
+	return dx
+}
+
+// AvgPool2D is an average-pooling layer; with K equal to the spatial size
+// it acts as the global average pool used by ResNets.
+type AvgPool2D struct {
+	Name      string
+	K, Stride int
+	inShape   []int
+}
+
+// NewAvgPool2D constructs an average-pooling layer with a square window.
+func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
+	if k <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: bad pool parameters k=%d stride=%d", k, stride))
+	}
+	return &AvgPool2D{Name: name, K: k, Stride: stride}
+}
+
+// LayerName implements Named.
+func (p *AvgPool2D) LayerName() string { return p.Name }
+
+// Params implements Module.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Module for x of shape [N, C, H, W].
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shapeCheck(p.Name, x, 4)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.K)/p.Stride + 1
+	ow := (w-p.K)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s window %d/%d too large for input %v", p.Name, p.K, p.Stride, x.Shape))
+	}
+	p.inShape = append([]int(nil), x.Shape...)
+	out := tensor.New(n, c, oh, ow)
+	inv := 1 / float32(p.K*p.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					for ky := 0; ky < p.K; ky++ {
+						rowBase := (oy*p.Stride + ky) * w
+						for kx := 0; kx < p.K; kx++ {
+							s += plane[rowBase+ox*p.Stride+kx]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module, spreading each output gradient uniformly
+// over its window.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: AvgPool2D.Backward called without Forward")
+	}
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	oh := (h-p.K)/p.Stride + 1
+	ow := (w-p.K)/p.Stride + 1
+	dx := tensor.New(p.inShape...)
+	inv := 1 / float32(p.K*p.K)
+	gi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := grad.Data[gi] * inv
+					gi++
+					for ky := 0; ky < p.K; ky++ {
+						rowBase := (oy*p.Stride + ky) * w
+						for kx := 0; kx < p.K; kx++ {
+							plane[rowBase+ox*p.Stride+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes [N, C, H, W] activations to [N, C*H*W].
+type Flatten struct {
+	Name    string
+	inShape []int
+}
+
+// NewFlatten constructs a flattening adapter.
+func NewFlatten(name string) *Flatten { return &Flatten{Name: name} }
+
+// LayerName implements Named.
+func (f *Flatten) LayerName() string { return f.Name }
+
+// Params implements Module.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape...)
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward implements Module.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}

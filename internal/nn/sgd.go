@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"math"
+
+	"seal/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with classical momentum and L2
+// weight decay. It honours per-parameter freeze masks: masked-out
+// elements receive no update, which is how the SEAL adversary keeps
+// leaked plaintext weights fixed while fine-tuning the rest.
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer with the given hyper-parameters.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: map[*Param]*tensor.Tensor{}}
+}
+
+// Step applies one update to every parameter and clears the gradients.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := o.velocity[p]
+		if v == nil && o.Momentum != 0 {
+			v = tensor.New(p.W.Shape...)
+			o.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			if p.Mask != nil && p.Mask.Data[i] == 0 {
+				continue
+			}
+			g := p.Grad.Data[i] + o.WeightDecay*p.W.Data[i]
+			if o.Momentum != 0 {
+				v.Data[i] = o.Momentum*v.Data[i] + g
+				g = v.Data[i]
+			}
+			p.W.Data[i] -= o.LR * g
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrads clears every gradient without updating weights.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm scales gradients so their global L2 norm does not exceed
+// maxNorm; it returns the pre-clip norm. Gradient clipping keeps the
+// small-width substitute-model training runs stable.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		sq += p.Grad.SqSum()
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,111 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window
+// applied to a single image of shape [C, H, W].
+type ConvGeom struct {
+	InC, InH, InW int // input channels and spatial size
+	KH, KW        int // kernel height/width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the window sweep.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the window sweep.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate checks that the geometry produces a positive output size.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.KH <= 0 || g.KW <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		return fmt.Errorf("tensor: invalid conv geometry %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv geometry %+v yields non-positive output", g)
+	}
+	return nil
+}
+
+// Im2Col expands image x of shape [C, H, W] into a matrix of shape
+// [C*KH*KW, OutH*OutW] so that convolution becomes a single matrix
+// multiply (kernel matrix [OutC, C*KH*KW] × columns). Out-of-bounds
+// (padding) positions contribute zeros.
+//
+// Row ordering is (c, kh, kw) with c outermost: rows [c*KH*KW,
+// (c+1)*KH*KW) depend only on input channel c. This property is what lets
+// SEAL tie each kernel row (input channel) to exactly one input feature
+// map channel (paper §III-A, Figure 2).
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	if len(x.Shape) != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	cols := New(g.InC*g.KH*g.KW, oh*ow)
+	xd, cd := x.Data, cols.Data
+	ncols := oh * ow
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dst := cd[row*ncols : (row+1)*ncols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue // leave zeros
+					}
+					srcRow := chanBase + iy*g.InW
+					dstRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						dst[dstRow+ox] = xd[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters a [C*KH*KW, OutH*OutW] column matrix back into an image
+// of shape [C, H, W], accumulating overlapping contributions. It is the
+// adjoint of Im2Col and is used for input gradients in conv backprop.
+func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	if len(cols.Shape) != 2 || cols.Shape[0] != g.InC*g.KH*g.KW || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v", cols.Shape, g))
+	}
+	x := New(g.InC, g.InH, g.InW)
+	xd, cd := x.Data, cols.Data
+	ncols := oh * ow
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				src := cd[row*ncols : (row+1)*ncols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					dstRow := chanBase + iy*g.InW
+					srcRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						xd[dstRow+ix] += src[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return x
+}

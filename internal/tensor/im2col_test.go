@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seal/internal/prng"
+)
+
+// naiveConv computes a single-image convolution directly from the
+// definition, as the reference for the im2col path.
+func naiveConv(x *Tensor, w *Tensor, g ConvGeom, outC int) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	out := New(outC, oh, ow)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for ic := 0; ic < g.InC; ic++ {
+					for kh := 0; kh < g.KH; kh++ {
+						for kw := 0; kw < g.KW; kw++ {
+							iy := oy*g.Stride + kh - g.Pad
+							ix := ox*g.Stride + kw - g.Pad
+							if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+								continue
+							}
+							s += x.At(ic, iy, ix) * w.At(oc, ic, kh, kw)
+						}
+					}
+				}
+				out.Set(s, oc, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+func randTensor(r *prng.Source, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64())
+	}
+	return t
+}
+
+func TestGeomOutputSize(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if g.OutH() != 32 || g.OutW() != 32 {
+		t.Fatalf("same-padding 3x3: out %dx%d", g.OutH(), g.OutW())
+	}
+	g = ConvGeom{InC: 3, InH: 32, InW: 32, KH: 2, KW: 2, Stride: 2, Pad: 0}
+	if g.OutH() != 16 || g.OutW() != 16 {
+		t.Fatalf("2x2/2 pool: out %dx%d", g.OutH(), g.OutW())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, Stride: 1, Pad: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted kernel larger than padded input")
+	}
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	r := prng.New(5)
+	cases := []ConvGeom{
+		{InC: 1, InH: 5, InW: 5, KH: 3, KW: 3, Stride: 1, Pad: 0},
+		{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		{InC: 4, InH: 7, InW: 5, KH: 1, KW: 1, Stride: 1, Pad: 0},
+		{InC: 2, InH: 9, InW: 9, KH: 5, KW: 5, Stride: 2, Pad: 2},
+	}
+	for _, g := range cases {
+		outC := 3
+		x := randTensor(r, g.InC, g.InH, g.InW)
+		w := randTensor(r, outC, g.InC, g.KH, g.KW)
+		cols := Im2Col(x, g)
+		wMat := w.Reshape(outC, g.InC*g.KH*g.KW)
+		got := MatMul(wMat, cols).Reshape(outC, g.OutH(), g.OutW())
+		want := naiveConv(x, w, g, outC)
+		if !Equal(got, want, 1e-4) {
+			t.Fatalf("im2col conv mismatch for %+v", g)
+		}
+	}
+}
+
+func TestIm2ColChannelLocality(t *testing.T) {
+	// The SEAL-critical property: im2col rows for channel c depend only on
+	// input channel c. Zeroing channel 0 must zero exactly rows [0, KH*KW).
+	g := ConvGeom{InC: 3, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	r := prng.New(9)
+	x := randTensor(r, g.InC, g.InH, g.InW)
+	full := Im2Col(x, g)
+	for i := 0; i < g.InH*g.InW; i++ {
+		x.Data[i] = 0 // zero channel 0
+	}
+	zeroed := Im2Col(x, g)
+	rowsPerChan := g.KH * g.KW
+	ncols := g.OutH() * g.OutW()
+	for row := 0; row < g.InC*rowsPerChan; row++ {
+		for col := 0; col < ncols; col++ {
+			a, b := full.Data[row*ncols+col], zeroed.Data[row*ncols+col]
+			if row < rowsPerChan {
+				if b != 0 {
+					t.Fatalf("row %d (channel 0) not zeroed", row)
+				}
+			} else if a != b {
+				t.Fatalf("row %d (channel %d) changed when channel 0 was zeroed", row, row/rowsPerChan)
+			}
+		}
+	}
+}
+
+func TestCol2ImAdjointProperty(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> — the defining property of an
+	// adjoint pair, which is exactly what conv backprop needs.
+	check := func(seed uint64) bool {
+		r := prng.New(seed)
+		g := ConvGeom{
+			InC: r.Intn(3) + 1, InH: r.Intn(5) + 4, InW: r.Intn(5) + 4,
+			KH: 3, KW: 3, Stride: r.Intn(2) + 1, Pad: r.Intn(2),
+		}
+		if g.Validate() != nil {
+			return true
+		}
+		x := randTensor(r, g.InC, g.InH, g.InW)
+		y := randTensor(r, g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+		cx := Im2Col(x, g)
+		cy := Col2Im(y, g)
+		var lhs, rhs float64
+		for i := range cx.Data {
+			lhs += float64(cx.Data[i]) * float64(y.Data[i])
+		}
+		for i := range x.Data {
+			rhs += float64(x.Data[i]) * float64(cy.Data[i])
+		}
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if l := lhs; l < 0 {
+			l = -l
+			if l > scale {
+				scale = l
+			}
+		} else if lhs > scale {
+			scale = lhs
+		}
+		return diff/scale < 1e-3
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Im2Col accepted mismatched input")
+		}
+	}()
+	g := ConvGeom{InC: 3, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	Im2Col(New(2, 4, 4), g)
+}
+
+func BenchmarkIm2Col64x32x32(b *testing.B) {
+	g := ConvGeom{InC: 64, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := randTensor(prng.New(1), g.InC, g.InH, g.InW)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Im2Col(x, g)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := prng.New(1)
+	a := randTensor(r, 128, 128)
+	c := randTensor(r, 128, 128)
+	out := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, a, c)
+	}
+}

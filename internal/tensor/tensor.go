@@ -1,0 +1,359 @@
+// Package tensor implements a minimal dense float32 tensor library used by
+// the neural-network substrate. Layout is row-major; convolutional data
+// uses NCHW order (batch, channel, height, width) matching the paper's
+// per-channel encryption granularity.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. It panics on
+// non-positive dimensions, since every shape in this repository is static
+// and a bad dimension is a programming error.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape without copying.
+// It panics if the element count does not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the i-th dimension.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view sharing data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// At returns the element at the given multi-index (rank must match).
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add accumulates src into t element-wise. Shapes must have equal size.
+func (t *Tensor) Add(src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic("tensor: Add size mismatch")
+	}
+	for i, v := range src.Data {
+		t.Data[i] += v
+	}
+}
+
+// AddScaled accumulates alpha*src into t element-wise.
+func (t *Tensor) AddScaled(alpha float32, src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range src.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Sub subtracts src from t element-wise.
+func (t *Tensor) Sub(src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic("tensor: Sub size mismatch")
+	}
+	for i, v := range src.Data {
+		t.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Hadamard multiplies t element-wise by src.
+func (t *Tensor) Hadamard(src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic("tensor: Hadamard size mismatch")
+	}
+	for i, v := range src.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Sum returns the sum of all elements in float64 precision.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsSum returns the L1 norm (sum of absolute values) in float64
+// precision. This is the importance measure at the heart of SEAL's smart
+// encryption (paper §III-A).
+func (t *Tensor) AbsSum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// SqSum returns the squared L2 norm in float64 precision.
+func (t *Tensor) SqSum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the maximum absolute element value.
+func (t *Tensor) MaxAbs() float32 {
+	m := float32(0)
+	for _, v := range t.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element of a rank-1 tensor (or
+// of the flattened data for higher ranks).
+func (t *Tensor) ArgMax() int {
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range t.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Row returns a view of row i of a rank-2 tensor.
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: Row requires rank-2 tensor")
+	}
+	cols := t.Shape[1]
+	return FromSlice(t.Data[i*cols:(i+1)*cols], cols)
+}
+
+// MatMul computes C = A×B for rank-2 tensors A [m,k] and B [k,n],
+// writing into a freshly allocated C [m,n]. The kernel is cache-blocked
+// on k with an ikj loop order, which is the standard portable layout for
+// row-major GEMM.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A×B into an existing C, which must have shape
+// [m,n]. C is overwritten.
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulInto output shape mismatch")
+	}
+	c.Zero()
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		ci := cd[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := bd[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ×B for A [k,m] and B [k,n] into C [m,n].
+// Used for weight-gradient computation in backprop.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic("tensor: MatMulTransA inner dims mismatch")
+	}
+	n := b.Shape[1]
+	c := New(m, n)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for p := 0; p < k; p++ {
+		ap := ad[p*m : (p+1)*m]
+		bp := bd[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := cd[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A×Bᵀ for A [m,k] and B [n,k] into C [m,n].
+// Used for input-gradient computation in backprop.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic("tensor: MatMulTransB inner dims mismatch")
+	}
+	c := New(m, n)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		ci := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return c
+}
+
+// Transpose returns a new rank-2 tensor that is the transpose of t.
+func (t *Tensor) Transpose() *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: Transpose requires rank-2 tensor")
+	}
+	m, n := t.Shape[0], t.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Equal reports element-wise equality within tolerance eps.
+func Equal(a, b *Tensor, eps float32) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < -eps || d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.Shape)
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seal/internal/models"
+	"seal/internal/prng"
+)
+
+// TestMatmulCoversAllOperands is the coverage property of the matmul
+// trace: every line of A and B is read at least once, every line of C
+// is written exactly once, and nothing outside the three regions is
+// touched.
+func TestMatmulCoversAllOperands(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := prng.New(seed)
+		p := testParams()
+		n := (r.Intn(4) + 2) * p.Tile // 32..80
+		a, b, c, end := MatmulRegions(n, p, false)
+		streams, err := Matmul(p, n, a, b, c)
+		if err != nil {
+			return false
+		}
+		readCount := map[uint64]int{}
+		writeCount := map[uint64]int{}
+		for _, st := range streams {
+			for _, op := range st {
+				if op.NoMem {
+					continue
+				}
+				if op.Addr >= end {
+					return false
+				}
+				if op.Write {
+					writeCount[op.Addr]++
+				} else {
+					readCount[op.Addr]++
+				}
+			}
+		}
+		bytes := uint64(n) * uint64(n) * uint64(p.ElemBytes)
+		for _, reg := range []struct{ base uint64 }{{a.Base}, {b.Base}} {
+			for addr := reg.base; addr < reg.base+bytes; addr += uint64(p.LineBytes) {
+				if readCount[addr] == 0 {
+					return false // operand line never loaded
+				}
+			}
+		}
+		for addr := c.Base; addr < c.Base+bytes; addr += uint64(p.LineBytes) {
+			if writeCount[addr] != 1 {
+				return false // each output line written exactly once
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvReadsEveryWeightLine: the GEMM phase must stream every weight
+// line of the layer at least once — a missing weight read would mean
+// the simulated layer skipped computation.
+func TestConvReadsEveryWeightLine(t *testing.T) {
+	plan, layout := buildPlanLayout(t, models.VGG16Arch(), 1)
+	traces, err := Network(testParams(), plan, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lt := range traces {
+		if lt.Spec.Name != "conv2_1" {
+			continue
+		}
+		w := layout.Region("w:conv2_1")
+		seen := map[uint64]bool{}
+		for _, st := range lt.Streams {
+			for _, op := range st {
+				if !op.NoMem && !op.Write && op.Addr >= w.Base && op.Addr < w.Base+w.Size {
+					seen[op.Addr] = true
+				}
+			}
+		}
+		// every line holding real weight data must be touched; padding at
+		// the tail of each row block may be skipped
+		rowData := uint64(lt.Spec.OutC*lt.Spec.K*lt.Spec.K) * 4
+		for blk := uint64(0); blk < uint64(w.Blocks()); blk++ {
+			base := w.Base + blk*w.BlockBytes
+			for off := uint64(0); off < rowData; off += 64 {
+				if !seen[base+off] {
+					t.Fatalf("weight line %#x (row %d) never read", base+off, blk)
+				}
+			}
+		}
+		return
+	}
+	t.Fatal("conv2_1 not found")
+}

@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"testing"
+
+	"seal/internal/core"
+	"seal/internal/gpu"
+	"seal/internal/models"
+	"seal/internal/prng"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	p.NumSMs = 4
+	p.Tile = 16
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.Tile = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero tile accepted")
+	}
+}
+
+func TestEmitterComputeAttachment(t *testing.T) {
+	p := testParams()
+	p.ComputeOverhead = 0
+	e := NewEmitter(p)
+	e.Compute(5.5)
+	e.Read(0)
+	e.Compute(0.7)
+	e.Write(64)
+	streams := e.Streams()
+	st := streams[0]
+	if len(st) != 2 {
+		t.Fatalf("ops = %d, want 2", len(st))
+	}
+	if st[0].Compute != 5 || st[0].Write {
+		t.Fatalf("op0 = %+v", st[0])
+	}
+	// 0.5 leftover + 0.7 = 1.2 → 1 attached to the write
+	if st[1].Compute != 1 || !st[1].Write {
+		t.Fatalf("op1 = %+v", st[1])
+	}
+}
+
+func TestEmitterOverheadScalesCompute(t *testing.T) {
+	p := testParams()
+	p.ComputeOverhead = 1.0
+	e := NewEmitter(p)
+	e.Compute(10)
+	e.Read(0)
+	st := e.Streams()[0]
+	if st[0].Compute != 20 {
+		t.Fatalf("compute = %d, want 20 with overhead 1.0", st[0].Compute)
+	}
+}
+
+func TestEmitterTailFlush(t *testing.T) {
+	e := NewEmitter(testParams())
+	e.Compute(7)
+	streams := e.Streams()
+	st := streams[0]
+	if len(st) != 1 || !st[0].NoMem || st[0].Compute < 7 {
+		t.Fatalf("tail = %+v", st)
+	}
+}
+
+func TestReadRangeLineGranularity(t *testing.T) {
+	e := NewEmitter(testParams())
+	e.ReadRange(100, 200) // spans lines 64,128,192,256 → 4 lines
+	st := e.Streams()[0]
+	if len(st) != 4 {
+		t.Fatalf("lines = %d, want 4", len(st))
+	}
+	if st[0].Addr != 64 || st[3].Addr != 256 {
+		t.Fatalf("addresses %v..%v", st[0].Addr, st[3].Addr)
+	}
+}
+
+func TestMatmulTraceVolume(t *testing.T) {
+	p := testParams()
+	n := 64
+	a, b, c, _ := MatmulRegions(n, p, false)
+	streams, err := Matmul(p, n, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes int64
+	for _, st := range streams {
+		for _, op := range st {
+			if op.NoMem {
+				continue
+			}
+			if op.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+	}
+	// tiles = 4x4, k-steps = 4; each step reads 2 tiles of 16x16x4B =
+	// 2*16 rows * 64B = 32 lines; writes: 16 tiles * 16 rows * 1 line.
+	wantReads := int64(4 * 4 * 4 * 32)
+	wantWrites := int64(4 * 4 * 16)
+	if reads != wantReads || writes != wantWrites {
+		t.Fatalf("reads=%d writes=%d, want %d/%d", reads, writes, wantReads, wantWrites)
+	}
+}
+
+func TestMatmulRejectsBadSize(t *testing.T) {
+	p := testParams()
+	a, b, c, _ := MatmulRegions(64, p, false)
+	if _, err := Matmul(p, 60, a, b, c); err == nil {
+		t.Fatal("non-multiple size accepted")
+	}
+}
+
+func TestMatmulRegionsEncryption(t *testing.T) {
+	p := testParams()
+	a, _, _, _ := MatmulRegions(64, p, true)
+	if !a.Encrypted(0) {
+		t.Fatal("encrypted matmul region plaintext")
+	}
+	a2, _, _, _ := MatmulRegions(64, p, false)
+	if a2.Encrypted(0) {
+		t.Fatal("plain matmul region encrypted")
+	}
+}
+
+func buildPlanLayout(t testing.TB, arch *models.Arch, batch int) (*core.Plan, *core.Layout) {
+	t.Helper()
+	m, err := models.Build(arch.Scale(0.25, 0), prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := core.NewLayout(plan, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, layout
+}
+
+func TestConvTraceAddressesStayInRegions(t *testing.T) {
+	plan, layout := buildPlanLayout(t, models.VGG16Arch(), 1)
+	p := testParams()
+	traces, err := Network(p, plan, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := uint64(0), layout.End()
+	var ops int64
+	for _, lt := range traces {
+		for _, st := range lt.Streams {
+			for _, op := range st {
+				if op.NoMem {
+					continue
+				}
+				ops++
+				if op.Addr < lo || op.Addr >= hi {
+					t.Fatalf("%s: address %#x outside layout [%#x,%#x)", lt.Spec.Name, op.Addr, lo, hi)
+				}
+			}
+		}
+	}
+	if ops == 0 {
+		t.Fatal("no memory ops generated")
+	}
+}
+
+func TestNetworkCoversAllLayers(t *testing.T) {
+	for _, arch := range models.Archs() {
+		plan, layout := buildPlanLayout(t, arch, 1)
+		traces, err := Network(testParams(), plan, layout)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		if len(traces) != len(plan.Arch.Specs) {
+			t.Fatalf("%s: %d traces for %d specs", arch.Name, len(traces), len(plan.Arch.Specs))
+		}
+		for _, lt := range traces {
+			if lt.MemOps() == 0 {
+				t.Fatalf("%s: layer %s has no memory traffic", arch.Name, lt.Spec.Name)
+			}
+		}
+	}
+}
+
+func TestConvTraceTouchesWeightsColsFmaps(t *testing.T) {
+	plan, layout := buildPlanLayout(t, models.VGG16Arch(), 1)
+	traces, err := Network(testParams(), plan, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// second conv layer (conv1_2): find its trace
+	var lt *LayerTrace
+	for i := range traces {
+		if traces[i].Spec.Name == "conv1_2" {
+			lt = &traces[i]
+		}
+	}
+	if lt == nil {
+		t.Fatal("conv1_2 trace missing")
+	}
+	regions := map[string]*core.Region{
+		"w":    layout.Region("w:conv1_2"),
+		"cols": layout.Region("cols:conv1_2"),
+		"in":   layout.Region("fmap:conv1_1"),
+		"out":  layout.Region("fmap:conv1_2"),
+	}
+	touched := map[string]bool{}
+	for _, st := range lt.Streams {
+		for _, op := range st {
+			if op.NoMem {
+				continue
+			}
+			for name, r := range regions {
+				if op.Addr >= r.Base && op.Addr < r.Base+r.Size {
+					touched[name] = true
+				}
+			}
+		}
+	}
+	for name := range regions {
+		if !touched[name] {
+			t.Errorf("conv1_2 trace never touched %s region", name)
+		}
+	}
+}
+
+func TestTrafficEncryptedFractionNearRatio(t *testing.T) {
+	// With a 50% ratio, roughly half the conv GEMM traffic should be
+	// ciphertext (weights rows + cols channels + fmap channels), giving
+	// SEAL its bandwidth win. Measure on a middle conv layer.
+	plan, layout := buildPlanLayout(t, models.VGG16Arch(), 1)
+	traces, err := Network(testParams(), plan, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var encOps, ops float64
+	for _, lt := range traces {
+		if lt.Spec.Name != "conv3_2" {
+			continue
+		}
+		for _, st := range lt.Streams {
+			for _, op := range st {
+				if op.NoMem {
+					continue
+				}
+				ops++
+				if layout.Protected(op.Addr) {
+					encOps++
+				}
+			}
+		}
+	}
+	frac := encOps / ops
+	if frac < 0.35 || frac > 0.7 {
+		t.Fatalf("conv3_2 encrypted traffic fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestNetworkRunsOnSim(t *testing.T) {
+	plan, layout := buildPlanLayout(t, models.ResNet18Arch(), 1)
+	p := testParams()
+	traces, err := Network(p, plan, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpu.ConfigGTX480()
+	cfg.NumSMs = p.NumSMs
+	sim, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer, total, err := RunNetwork(sim, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perLayer) != len(traces) {
+		t.Fatalf("per-layer results %d, want %d", len(perLayer), len(traces))
+	}
+	if total.Cycles <= 0 || total.IPC <= 0 {
+		t.Fatalf("total %+v", total)
+	}
+	var sum float64
+	for _, r := range perLayer {
+		sum += r.Cycles
+	}
+	if sum != total.Cycles {
+		t.Fatalf("cycle sum %v != total %v", sum, total.Cycles)
+	}
+}
+
+func TestSEALReducesEngineTraffic(t *testing.T) {
+	// The core SEAL effect at trace level: with the default plan, engine
+	// bytes in direct mode must be well below full encryption.
+	plan, layout := buildPlanLayout(t, models.VGG16Arch(), 1)
+	p := testParams()
+	traces, err := Network(p, plan, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(fn gpu.EncFn) gpu.Result {
+		cfg := gpu.ConfigGTX480()
+		cfg.NumSMs = p.NumSMs
+		cfg = cfg.WithMode(gpu.ModeDirect, fn)
+		sim, err := gpu.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, total, err := RunNetwork(sim, traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	full := run(nil) // everything encrypted
+	seal := run(layout.Protected)
+	if seal.EngineBytes() >= full.EngineBytes()*8/10 {
+		t.Fatalf("SEAL engine bytes %d not well below full %d", seal.EngineBytes(), full.EngineBytes())
+	}
+	if seal.Cycles >= full.Cycles {
+		t.Fatalf("SEAL cycles %v not below full encryption %v", seal.Cycles, full.Cycles)
+	}
+}

@@ -1,6 +1,17 @@
 package aes
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"seal/internal/parallel"
+)
+
+// ctrGrainBlocks is the chunk size (in AES blocks) handed to each worker
+// when a keystream request is long enough to parallelize: 64 blocks is
+// 1 KiB of pad, far above goroutine dispatch cost at ~0.5 µs per
+// byte-oriented block encryption. Requests shorter than one chunk — every
+// per-cache-line pad in the simulator — take the serial path untouched.
+const ctrGrainBlocks = 64
 
 // CTR implements counter-mode keystream generation as used by
 // counter-mode memory encryption: the one-time pad for a cache line is
@@ -8,6 +19,13 @@ import "encoding/binary"
 // the pad needs only the address and counter — not the data — which is
 // why counter-mode memory encryption can overlap pad generation with the
 // DRAM access (paper §II-B, [24]).
+//
+// Each keystream block depends only on its own block index, so CTR is
+// embarrassingly parallel by construction: long keystreams are split
+// into disjoint counter ranges across the worker pool, exactly how
+// hardware replicates AES engines across memory channels. Every block
+// is written by exactly one worker, so parallel output is bit-identical
+// to serial.
 type CTR struct {
 	c *Cipher
 }
@@ -15,33 +33,61 @@ type CTR struct {
 // NewCTR wraps an expanded key for counter-mode use.
 func NewCTR(c *Cipher) *CTR { return &CTR{c: c} }
 
+// ctrBlock computes keystream block blk for (lineAddr, counter) into out.
+func (ct *CTR) ctrBlock(out *[BlockSize]byte, lineAddr, counter uint64, blk int) {
+	var in [BlockSize]byte
+	binary.BigEndian.PutUint64(in[0:8], lineAddr)
+	binary.BigEndian.PutUint64(in[8:16], counter^uint64(blk)<<56)
+	ct.c.Encrypt(out[:], in[:])
+}
+
 // Pad computes the one-time pad for a memory block identified by its
 // line address and per-line write counter. n is the pad length in bytes
 // and may exceed one AES block; successive blocks increment the block
 // index field.
 func (ct *CTR) Pad(lineAddr uint64, counter uint64, n int) []byte {
-	pad := make([]byte, 0, n)
-	var in, out [BlockSize]byte
-	for blk := 0; len(pad) < n; blk++ {
-		binary.BigEndian.PutUint64(in[0:8], lineAddr)
-		binary.BigEndian.PutUint64(in[8:16], counter^uint64(blk)<<56)
-		ct.c.Encrypt(out[:], in[:])
-		need := n - len(pad)
-		if need > BlockSize {
-			need = BlockSize
+	pad := make([]byte, n)
+	nblk := (n + BlockSize - 1) / BlockSize
+	gen := func(lo, hi int) {
+		var out [BlockSize]byte
+		for blk := lo; blk < hi; blk++ {
+			ct.ctrBlock(&out, lineAddr, counter, blk)
+			copy(pad[blk*BlockSize:], out[:])
 		}
-		pad = append(pad, out[:need]...)
+	}
+	if nblk <= ctrGrainBlocks {
+		gen(0, nblk)
+	} else {
+		parallel.For(nblk, ctrGrainBlocks, gen)
 	}
 	return pad
 }
 
 // XORKeyStream encrypts (or decrypts — the operation is an involution)
 // src into dst using the pad for (lineAddr, counter). len(dst) must be
-// at least len(src).
+// at least len(src). Pad generation and the XOR are fused per chunk, so
+// long streams never materialize a second full-length pad buffer.
 func (ct *CTR) XORKeyStream(dst, src []byte, lineAddr, counter uint64) {
-	pad := ct.Pad(lineAddr, counter, len(src))
-	for i := range src {
-		dst[i] = src[i] ^ pad[i]
+	n := len(src)
+	nblk := (n + BlockSize - 1) / BlockSize
+	xor := func(lo, hi int) {
+		var out [BlockSize]byte
+		for blk := lo; blk < hi; blk++ {
+			ct.ctrBlock(&out, lineAddr, counter, blk)
+			off := blk * BlockSize
+			end := off + BlockSize
+			if end > n {
+				end = n
+			}
+			for i := off; i < end; i++ {
+				dst[i] = src[i] ^ out[i-off]
+			}
+		}
+	}
+	if nblk <= ctrGrainBlocks {
+		xor(0, nblk)
+	} else {
+		parallel.For(nblk, ctrGrainBlocks, xor)
 	}
 }
 

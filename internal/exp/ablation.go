@@ -8,6 +8,7 @@ import (
 	"seal/internal/dataset"
 	"seal/internal/gpu"
 	"seal/internal/models"
+	"seal/internal/parallel"
 	"seal/internal/prng"
 	"seal/internal/trace"
 )
@@ -73,7 +74,13 @@ func L2Sweep(cfg TimingConfig, perSliceKB []int) (*Table, error) {
 		Columns: []string{"NormIPC", "L2HitRate"},
 	}
 	arch := models.VGG16Arch()
-	for _, kb := range perSliceKB {
+	// Each (L2 size, mode) pair simulates independently; rows assemble
+	// from index-addressed slots after the fan-out.
+	bases := make([]*networkRun, len(perSliceKB))
+	encs := make([]*networkRun, len(perSliceKB))
+	var tasks []func() error
+	for i, kb := range perSliceKB {
+		i, kb := i, kb
 		mk := func(mode gpu.EncMode) (gpu.Config, error) {
 			g := gtx480(mode, nil, cfg.CounterKB)
 			g.L2Slice.SizeBytes = kb * 1024
@@ -82,15 +89,15 @@ func L2Sweep(cfg TimingConfig, perSliceKB []int) (*Table, error) {
 			}
 			return g, nil
 		}
-		base, err := runNetworkWithConfig(cfg, arch, mk, gpu.ModeNone)
-		if err != nil {
-			return nil, err
-		}
-		enc, err := runNetworkWithConfig(cfg, arch, mk, gpu.ModeDirect)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("L2=%dKB/slice", kb), enc.total.IPC/base.total.IPC, enc.total.L2HitRate())
+		tasks = append(tasks,
+			func() (err error) { bases[i], err = runNetworkWithConfig(cfg, arch, mk, gpu.ModeNone); return },
+			func() (err error) { encs[i], err = runNetworkWithConfig(cfg, arch, mk, gpu.ModeDirect); return })
+	}
+	if err := parallel.DoErr(tasks...); err != nil {
+		return nil, err
+	}
+	for i, kb := range perSliceKB {
+		t.AddRow(fmt.Sprintf("L2=%dKB/slice", kb), encs[i].total.IPC/bases[i].total.IPC, encs[i].total.L2HitRate())
 	}
 	return t, nil
 }

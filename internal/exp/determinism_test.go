@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"seal/internal/parallel"
+)
+
+// TestRunNetworksDeterministic guards the two ways the Figure 7/8
+// dataset could silently stop being reproducible: nondeterministic
+// scheduling in the worker pool (disjoint-write or ordered-reduction
+// bugs) and any future map-iteration ordering creeping into the scheme
+// or architecture loops. Two runs under the same pool must match
+// exactly, and a parallel run must match the forced-serial path bit for
+// bit.
+func TestRunNetworksDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full RunNetworks passes")
+	}
+	cfg := QuickTimingConfig()
+
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	serial, err := RunNetworks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel.SetWorkers(8)
+	par1, err := RunNetworks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par2, err := RunNetworks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(par1, par2) {
+		t.Fatalf("two parallel runs differ:\n%+v\nvs\n%+v", par1, par2)
+	}
+	if !reflect.DeepEqual(serial, par1) {
+		t.Fatalf("parallel run differs from SEAL_WORKERS=1 serial run:\n%+v\nvs\n%+v", serial, par1)
+	}
+	if s, p := serial.Figure7().String(), par1.Figure7().String(); s != p {
+		t.Fatalf("Figure 7 tables differ:\n%s\nvs\n%s", s, p)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"seal/internal/core"
 	"seal/internal/dataset"
 	"seal/internal/models"
+	"seal/internal/parallel"
 	"seal/internal/prng"
 )
 
@@ -121,91 +123,133 @@ type SecurityResults struct {
 // RunSecurity executes the substitute-model study of §III-B for every
 // configured architecture, producing both figures' series in one pass
 // (the same substitute models feed both measurements, as in the paper).
+//
+// Architectures are independent end to end — each gets its own PRNG
+// stream (seeded by architecture index) and data generator — so the
+// per-model loop fans out across the worker pool. Results land in
+// index-addressed slots and, when running parallel, progress lines are
+// buffered per model and flushed in architecture order after the
+// barrier, so output and results are identical to a serial run.
 func RunSecurity(cfg SecurityConfig) (*SecurityResults, error) {
 	res := &SecurityResults{Cfg: cfg}
-	logf := func(format string, args ...any) {
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+	res.Models = make([]ModelSecurity, len(cfg.Arches))
+	// With one worker (or one model) stream progress directly; otherwise
+	// concurrent models would interleave lines, so buffer per model.
+	stream := parallel.Workers() == 1 || len(cfg.Arches) == 1
+	bufs := make([]*bytes.Buffer, len(cfg.Arches))
+	tasks := make([]func() error, len(cfg.Arches))
+	for ai, name := range cfg.Arches {
+		ai, name := ai, name
+		var sink io.Writer
+		if stream {
+			sink = cfg.Progress
+		} else if cfg.Progress != nil {
+			bufs[ai] = &bytes.Buffer{}
+			sink = bufs[ai]
+		}
+		tasks[ai] = func() (err error) {
+			res.Models[ai], err = securityModel(cfg, ai, name, sink)
+			return
 		}
 	}
-	for ai, name := range cfg.Arches {
-		arch, err := models.ArchByName(name)
-		if err != nil {
-			return nil, err
-		}
-		scaled := arch.Scale(cfg.Scale, 0)
-		rng := prng.New(cfg.Seed + uint64(ai)*1000)
-		dataCfg := cfg.Data
-		if dataCfg.Classes == 0 {
-			dataCfg = harderData()
-		}
-		gen := dataset.NewGenerator(dataCfg, cfg.Seed+uint64(ai))
-
-		victimData := gen.Sample(cfg.Victim)
-		testData := gen.Sample(cfg.Test)
-		seedData := gen.Sample(cfg.Seeds)
-		probeData := gen.Sample(cfg.Probe)
-
-		logf("[%s] training victim (%d samples, %d epochs)", name, cfg.Victim, cfg.Victims.Epochs)
-		victim, err := attack.TrainVictim(scaled, victimData, cfg.Victims, rng)
-		if err != nil {
-			return nil, err
-		}
-		ms := ModelSecurity{
-			Arch:       arch.Name,
-			VictimAcc:  attack.Accuracy(victim, testData),
-			SEALAcc:    map[float64]float64{},
-			SEALTrans:  map[float64]float64{},
-			LeakedFrac: map[float64]float64{},
-		}
-		logf("[%s] victim test accuracy %.3f", name, ms.VictimAcc)
-
-		probeCfg := cfg.Subs
-		probeCfg.Epochs = 2
-		advData, err := attack.JacobianAugment(victim, seedData, cfg.Rounds, cfg.Lambda, probeCfg, rng.Fork())
-		if err != nil {
-			return nil, err
-		}
-		ms.AdvSamples = advData.Len()
-		logf("[%s] adversary set augmented to %d samples", name, ms.AdvSamples)
-
-		white, err := attack.WhiteBox(victim, rng.Fork())
-		if err != nil {
-			return nil, err
-		}
-		ms.WhiteAcc = attack.Accuracy(white, testData)
-		ms.WhiteTrans = attack.Transferability(victim, white, probeData, cfg.IFGSM)
-
-		logf("[%s] training black-box substitute", name)
-		black, err := attack.BlackBox(victim, advData, cfg.Subs, rng.Fork())
-		if err != nil {
-			return nil, err
-		}
-		ms.BlackAcc = attack.Accuracy(black, testData)
-		ms.BlackTrans = attack.Transferability(victim, black, probeData, cfg.IFGSM)
-		logf("[%s] white acc %.3f trans %.3f | black acc %.3f trans %.3f",
-			name, ms.WhiteAcc, ms.WhiteTrans, ms.BlackAcc, ms.BlackTrans)
-
-		for _, ratio := range cfg.Ratios {
-			opts := core.DefaultOptions()
-			opts.Ratio = ratio
-			plan, err := core.NewPlan(victim, opts)
-			if err != nil {
-				return nil, err
+	err := parallel.DoErr(tasks...)
+	if !stream && cfg.Progress != nil {
+		for _, b := range bufs {
+			if b != nil {
+				cfg.Progress.Write(b.Bytes())
 			}
-			sub, err := attack.SEALSubstitute(victim, plan, advData, cfg.Subs, rng.Fork())
-			if err != nil {
-				return nil, err
-			}
-			ms.SEALAcc[ratio] = attack.Accuracy(sub, testData)
-			ms.SEALTrans[ratio] = attack.Transferability(victim, sub, probeData, cfg.IFGSM)
-			ms.LeakedFrac[ratio] = attack.LeakedFraction(plan)
-			logf("[%s] SEAL@%.0f%%: acc %.3f trans %.3f (leaked %.2f)",
-				name, ratio*100, ms.SEALAcc[ratio], ms.SEALTrans[ratio], ms.LeakedFrac[ratio])
 		}
-		res.Models = append(res.Models, ms)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// securityModel runs the full white-box/black-box/SEAL study for one
+// architecture. ai indexes the architecture within the run and seeds its
+// private PRNG and data-generator streams.
+func securityModel(cfg SecurityConfig, ai int, name string, progress io.Writer) (ModelSecurity, error) {
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+	arch, err := models.ArchByName(name)
+	if err != nil {
+		return ModelSecurity{}, err
+	}
+	scaled := arch.Scale(cfg.Scale, 0)
+	rng := prng.New(cfg.Seed + uint64(ai)*1000)
+	dataCfg := cfg.Data
+	if dataCfg.Classes == 0 {
+		dataCfg = harderData()
+	}
+	gen := dataset.NewGenerator(dataCfg, cfg.Seed+uint64(ai))
+
+	victimData := gen.Sample(cfg.Victim)
+	testData := gen.Sample(cfg.Test)
+	seedData := gen.Sample(cfg.Seeds)
+	probeData := gen.Sample(cfg.Probe)
+
+	logf("[%s] training victim (%d samples, %d epochs)", name, cfg.Victim, cfg.Victims.Epochs)
+	victim, err := attack.TrainVictim(scaled, victimData, cfg.Victims, rng)
+	if err != nil {
+		return ModelSecurity{}, err
+	}
+	ms := ModelSecurity{
+		Arch:       arch.Name,
+		VictimAcc:  attack.Accuracy(victim, testData),
+		SEALAcc:    map[float64]float64{},
+		SEALTrans:  map[float64]float64{},
+		LeakedFrac: map[float64]float64{},
+	}
+	logf("[%s] victim test accuracy %.3f", name, ms.VictimAcc)
+
+	probeCfg := cfg.Subs
+	probeCfg.Epochs = 2
+	advData, err := attack.JacobianAugment(victim, seedData, cfg.Rounds, cfg.Lambda, probeCfg, rng.Fork())
+	if err != nil {
+		return ModelSecurity{}, err
+	}
+	ms.AdvSamples = advData.Len()
+	logf("[%s] adversary set augmented to %d samples", name, ms.AdvSamples)
+
+	white, err := attack.WhiteBox(victim, rng.Fork())
+	if err != nil {
+		return ModelSecurity{}, err
+	}
+	ms.WhiteAcc = attack.Accuracy(white, testData)
+	ms.WhiteTrans = attack.Transferability(victim, white, probeData, cfg.IFGSM)
+
+	logf("[%s] training black-box substitute", name)
+	black, err := attack.BlackBox(victim, advData, cfg.Subs, rng.Fork())
+	if err != nil {
+		return ModelSecurity{}, err
+	}
+	ms.BlackAcc = attack.Accuracy(black, testData)
+	ms.BlackTrans = attack.Transferability(victim, black, probeData, cfg.IFGSM)
+	logf("[%s] white acc %.3f trans %.3f | black acc %.3f trans %.3f",
+		name, ms.WhiteAcc, ms.WhiteTrans, ms.BlackAcc, ms.BlackTrans)
+
+	for _, ratio := range cfg.Ratios {
+		opts := core.DefaultOptions()
+		opts.Ratio = ratio
+		plan, err := core.NewPlan(victim, opts)
+		if err != nil {
+			return ModelSecurity{}, err
+		}
+		sub, err := attack.SEALSubstitute(victim, plan, advData, cfg.Subs, rng.Fork())
+		if err != nil {
+			return ModelSecurity{}, err
+		}
+		ms.SEALAcc[ratio] = attack.Accuracy(sub, testData)
+		ms.SEALTrans[ratio] = attack.Transferability(victim, sub, probeData, cfg.IFGSM)
+		ms.LeakedFrac[ratio] = attack.LeakedFraction(plan)
+		logf("[%s] SEAL@%.0f%%: acc %.3f trans %.3f (leaked %.2f)",
+			name, ratio*100, ms.SEALAcc[ratio], ms.SEALTrans[ratio], ms.LeakedFrac[ratio])
+	}
+	return ms, nil
 }
 
 // Figure3 formats the IP-stealing accuracy series (substitute inference

@@ -7,6 +7,7 @@ import (
 	"seal/internal/engine"
 	"seal/internal/gpu"
 	"seal/internal/models"
+	"seal/internal/parallel"
 	"seal/internal/prng"
 	"seal/internal/trace"
 )
@@ -144,22 +145,28 @@ func Figure1(cfg TimingConfig) (*Table, error) {
 		}
 		return sim.Run(streams)
 	}
-	base, err := run(gpu.ModeNone, 0, false)
-	if err != nil {
+	// Every scheme/size point simulates independently; fan them out and
+	// assemble rows from the index-addressed slots afterwards so the
+	// table order never depends on completion order.
+	results := make([]gpu.Result, 2+len(cfg.CounterSweepKB))
+	tasks := []func() error{
+		func() (err error) { results[0], err = run(gpu.ModeNone, 0, false); return },
+		func() (err error) { results[1], err = run(gpu.ModeDirect, 0, true); return },
+	}
+	for i, kb := range cfg.CounterSweepKB {
+		i, kb := i, kb
+		tasks = append(tasks, func() (err error) {
+			results[2+i], err = run(gpu.ModeCounter, kb, true)
+			return
+		})
+	}
+	if err := parallel.DoErr(tasks...); err != nil {
 		return nil, err
 	}
-	t.AddRow("Baseline", base.IPC, 0)
-	direct, err := run(gpu.ModeDirect, 0, true)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("Direct", direct.IPC, 0)
-	for _, kb := range cfg.CounterSweepKB {
-		res, err := run(gpu.ModeCounter, kb, true)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("Ctr-%d", kb), res.IPC, res.CounterHitRate())
+	t.AddRow("Baseline", results[0].IPC, 0)
+	t.AddRow("Direct", results[1].IPC, 0)
+	for i, kb := range cfg.CounterSweepKB {
+		t.AddRow(fmt.Sprintf("Ctr-%d", kb), results[2+i].IPC, results[2+i].CounterHitRate())
 	}
 	return t, nil
 }
@@ -264,27 +271,37 @@ func runLayersCold(cfg TimingConfig, arch *models.Arch, sc scheme, layerNames []
 	if sc.seal {
 		fn = layout.Protected
 	}
+	// Each layer gets a fresh simulator over shared read-only traces, so
+	// the layer sweep fans out across the pool.
 	vals := make([]float64, len(layerNames))
+	tasks := make([]func() error, len(layerNames))
 	for li, name := range layerNames {
-		var lt *trace.LayerTrace
-		for i := range traces {
-			if traces[i].Spec.Name == name {
-				lt = &traces[i]
-				break
+		li, name := li, name
+		tasks[li] = func() error {
+			var lt *trace.LayerTrace
+			for i := range traces {
+				if traces[i].Spec.Name == name {
+					lt = &traces[i]
+					break
+				}
 			}
+			if lt == nil {
+				return fmt.Errorf("exp: layer %s not in trace", name)
+			}
+			sim, err := gpu.New(gtx480(sc.mode, fn, cfg.CounterKB))
+			if err != nil {
+				return err
+			}
+			res, err := sim.Run(lt.Streams)
+			if err != nil {
+				return err
+			}
+			vals[li] = res.IPC
+			return nil
 		}
-		if lt == nil {
-			return nil, fmt.Errorf("exp: layer %s not in trace", name)
-		}
-		sim, err := gpu.New(gtx480(sc.mode, fn, cfg.CounterKB))
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(lt.Streams)
-		if err != nil {
-			return nil, err
-		}
-		vals[li] = res.IPC
+	}
+	if err := parallel.DoErr(tasks...); err != nil {
+		return nil, err
 	}
 	return vals, nil
 }
@@ -319,15 +336,28 @@ func perLayerFigure(cfg TimingConfig, title string, layerNames, labels []string)
 	microCfg.NoBoundary = true
 	scaled := arch.Scale(cfg.Scale, hw)
 	t := &Table{Title: title, Columns: labels}
-	var baseIPC []float64
-	for _, sc := range schemes() {
-		// Each layer runs as a standalone kernel on cold caches — the
-		// paper evaluates "four typical CONV layers" and "five different
-		// POOL layers" individually, not mid-inference.
-		vals, err := runLayersCold(microCfg, scaled, sc, layerNames)
-		if err != nil {
-			return nil, err
+	// Each layer runs as a standalone kernel on cold caches — the paper
+	// evaluates "four typical CONV layers" and "five different POOL
+	// layers" individually, not mid-inference. All (scheme, layer) cells
+	// are independent simulations: fan out the schemes here (each of
+	// which fans out its layers) and normalize against the Baseline row
+	// after the barrier, in scheme order.
+	scs := schemes()
+	allVals := make([][]float64, len(scs))
+	tasks := make([]func() error, len(scs))
+	for si, sc := range scs {
+		si, sc := si, sc
+		tasks[si] = func() (err error) {
+			allVals[si], err = runLayersCold(microCfg, scaled, sc, layerNames)
+			return
 		}
+	}
+	if err := parallel.DoErr(tasks...); err != nil {
+		return nil, err
+	}
+	var baseIPC []float64
+	for si, sc := range scs {
+		vals := allVals[si]
 		if sc.name == "Baseline" {
 			baseIPC = append([]float64(nil), vals...)
 			for i := range vals {
@@ -358,24 +388,36 @@ type NetworkResults struct {
 // five schemes once.
 func RunNetworks(cfg TimingConfig) (*NetworkResults, error) {
 	archs := models.Archs()
+	scs := schemes()
 	res := &NetworkResults{}
 	for _, a := range archs {
 		res.Archs = append(res.Archs, a.Name)
 	}
-	for _, sc := range schemes() {
+	// The full (scheme × arch) grid is embarrassingly parallel: every
+	// cell builds its own plan, layout, traces and simulator. Flatten it
+	// into one task list and fill the result grid by index.
+	for _, sc := range scs {
 		res.Schemes = append(res.Schemes, sc.name)
-		ipcs := make([]float64, len(archs))
-		cycles := make([]float64, len(archs))
+		res.IPC = append(res.IPC, make([]float64, len(archs)))
+		res.Cycles = append(res.Cycles, make([]float64, len(archs)))
+	}
+	var tasks []func() error
+	for si, sc := range scs {
 		for ai, arch := range archs {
-			run, err := runNetwork(cfg, arch, sc)
-			if err != nil {
-				return nil, err
-			}
-			ipcs[ai] = run.total.IPC
-			cycles[ai] = run.total.Cycles
+			si, sc, ai, arch := si, sc, ai, arch
+			tasks = append(tasks, func() error {
+				run, err := runNetwork(cfg, arch, sc)
+				if err != nil {
+					return err
+				}
+				res.IPC[si][ai] = run.total.IPC
+				res.Cycles[si][ai] = run.total.Cycles
+				return nil
+			})
 		}
-		res.IPC = append(res.IPC, ipcs)
-		res.Cycles = append(res.Cycles, cycles)
+	}
+	if err := parallel.DoErr(tasks...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -432,23 +474,45 @@ func Figure8(cfg TimingConfig) (*Table, error) {
 func RatioSweep(cfg TimingConfig, ratios []float64) (*Table, error) {
 	t := &Table{Title: "Ablation: normalized IPC vs encryption ratio (VGG-16)", Columns: []string{"SEAL-D", "SEAL-C"}}
 	arch := models.VGG16Arch()
-	baseRun, err := runNetwork(cfg, arch, scheme{"Baseline", gpu.ModeNone, false})
-	if err != nil {
-		return nil, err
-	}
-	base := baseRun.total.IPC
-	for _, r := range ratios {
+	// Baseline plus every (ratio, scheme) point are independent runs.
+	var base float64
+	dIPC := make([]float64, len(ratios))
+	cIPC := make([]float64, len(ratios))
+	tasks := []func() error{func() error {
+		baseRun, err := runNetwork(cfg, arch, scheme{"Baseline", gpu.ModeNone, false})
+		if err != nil {
+			return err
+		}
+		base = baseRun.total.IPC
+		return nil
+	}}
+	for i, r := range ratios {
+		i, r := i, r
 		c := cfg
 		c.Ratio = r
-		d, err := runNetwork(c, arch, scheme{"SEAL-D", gpu.ModeDirect, true})
-		if err != nil {
-			return nil, err
-		}
-		cm, err := runNetwork(c, arch, scheme{"SEAL-C", gpu.ModeCounter, true})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("ratio=%.0f%%", r*100), d.total.IPC/base, cm.total.IPC/base)
+		tasks = append(tasks,
+			func() error {
+				d, err := runNetwork(c, arch, scheme{"SEAL-D", gpu.ModeDirect, true})
+				if err != nil {
+					return err
+				}
+				dIPC[i] = d.total.IPC
+				return nil
+			},
+			func() error {
+				cm, err := runNetwork(c, arch, scheme{"SEAL-C", gpu.ModeCounter, true})
+				if err != nil {
+					return err
+				}
+				cIPC[i] = cm.total.IPC
+				return nil
+			})
+	}
+	if err := parallel.DoErr(tasks...); err != nil {
+		return nil, err
+	}
+	for i, r := range ratios {
+		t.AddRow(fmt.Sprintf("ratio=%.0f%%", r*100), dIPC[i]/base, cIPC[i]/base)
 	}
 	return t, nil
 }
@@ -461,21 +525,36 @@ func RatioSweep(cfg TimingConfig, ratios []float64) (*Table, error) {
 func EngineCountAblation(cfg TimingConfig, counts []int) (*Table, error) {
 	t := &Table{Title: "Ablation: engines per memory controller (full direct encryption, VGG-16)", Columns: []string{"NormIPC", "EngineGB/s"}}
 	arch := models.VGG16Arch()
-	baseRun, err := runNetwork(cfg, arch, scheme{"Baseline", gpu.ModeNone, false})
-	if err != nil {
+	var base float64
+	ipcs := make([]float64, len(counts))
+	specs := make([]engine.Spec, len(counts))
+	tasks := []func() error{func() error {
+		baseRun, err := runNetwork(cfg, arch, scheme{"Baseline", gpu.ModeNone, false})
+		if err != nil {
+			return err
+		}
+		base = baseRun.total.IPC
+		return nil
+	}}
+	for i, n := range counts {
+		i, n := i, n
+		// n engines per controller ≈ one engine with n× throughput
+		specs[i] = engine.SpecModeled
+		specs[i].ThroughputGBs *= float64(n)
+		tasks = append(tasks, func() error {
+			scaledRun, err := runNetworkWithEngine(cfg, arch, scheme{"Direct", gpu.ModeDirect, false}, specs[i])
+			if err != nil {
+				return err
+			}
+			ipcs[i] = scaledRun.total.IPC
+			return nil
+		})
+	}
+	if err := parallel.DoErr(tasks...); err != nil {
 		return nil, err
 	}
-	base := baseRun.total.IPC
-	for _, n := range counts {
-		scaled := cfg
-		// n engines per controller ≈ one engine with n× throughput
-		spec := engine.SpecModeled
-		spec.ThroughputGBs *= float64(n)
-		scaledRun, err := runNetworkWithEngine(scaled, arch, scheme{"Direct", gpu.ModeDirect, false}, spec)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d engine(s)", n), scaledRun.total.IPC/base, spec.ThroughputGBs*float64(gpu.ConfigGTX480().Channels))
+	for i, n := range counts {
+		t.AddRow(fmt.Sprintf("%d engine(s)", n), ipcs[i]/base, specs[i].ThroughputGBs*float64(gpu.ConfigGTX480().Channels))
 	}
 	return t, nil
 }

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"seal/internal/parallel"
 	"seal/internal/prng"
 	"seal/internal/tensor"
 )
@@ -75,25 +76,29 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.inShape = append([]int(nil), x.Shape...)
 	perIn := g.InC * g.InH * g.InW
 	perOut := c.OutC * oh * ow
-	outMat := tensor.New(c.OutC, oh*ow)
-	for i := 0; i < n; i++ {
-		img := tensor.FromSlice(x.Data[i*perIn:(i+1)*perIn], g.InC, g.InH, g.InW)
-		cols := tensor.Im2Col(img, g)
-		c.cols[i] = cols
-		tensor.MatMulInto(outMat, wMat, cols)
-		copy(out.Data[i*perOut:(i+1)*perOut], outMat.Data)
-	}
-	if c.UseBias {
-		for i := 0; i < n; i++ {
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.Bias.W.Data[oc]
-				base := (i*c.OutC + oc) * oh * ow
-				for j := 0; j < oh*ow; j++ {
-					out.Data[base+j] += b
+	// Batch items are independent: each worker chunk owns its slice of
+	// the output (and of c.cols) and carries a private im2col-output
+	// scratch matrix, so items shard across the pool with no shared
+	// writes. Per-element arithmetic matches the serial loop exactly.
+	parallel.For(n, 1, func(lo, hi int) {
+		outMat := tensor.New(c.OutC, oh*ow)
+		for i := lo; i < hi; i++ {
+			img := tensor.FromSlice(x.Data[i*perIn:(i+1)*perIn], g.InC, g.InH, g.InW)
+			cols := tensor.Im2Col(img, g)
+			c.cols[i] = cols
+			tensor.MatMulInto(outMat, wMat, cols)
+			copy(out.Data[i*perOut:(i+1)*perOut], outMat.Data)
+			if c.UseBias {
+				for oc := 0; oc < c.OutC; oc++ {
+					b := c.Bias.W.Data[oc]
+					base := (i*c.OutC + oc) * oh * ow
+					for j := 0; j < oh*ow; j++ {
+						out.Data[base+j] += b
+					}
 				}
 			}
 		}
-	}
+	})
 	if !train {
 		c.cols = nil // free the caches when running inference only
 	}
@@ -113,25 +118,43 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.New(c.inShape...)
 	perIn := g.InC * g.InH * g.InW
 	perOut := c.OutC * oh * ow
-	for i := 0; i < n; i++ {
-		gMat := tensor.FromSlice(grad.Data[i*perOut:(i+1)*perOut], c.OutC, oh*ow)
-		// dW += gMat × colsᵀ
-		gw := tensor.MatMulTransB(gMat, c.cols[i])
-		gradW.Add(gw)
-		// dCols = Wᵀ × gMat ; dX = col2im(dCols)
-		dCols := tensor.MatMulTransA(wMat, gMat)
-		img := tensor.Col2Im(dCols, g)
-		copy(dx.Data[i*perIn:(i+1)*perIn], img.Data)
-	}
+	// Weight and bias gradients are reductions across batch items, so
+	// determinism requires two phases: workers compute per-item partials
+	// into index-addressed slots (dx is written disjointly in the same
+	// pass), and after the barrier the partials are folded in ascending
+	// item order — the exact float32 accumulation order of the serial
+	// loop.
+	gws := make([]*tensor.Tensor, n)
+	var biasPart []float32
 	if c.UseBias {
-		for i := 0; i < n; i++ {
-			for oc := 0; oc < c.OutC; oc++ {
-				base := (i*c.OutC + oc) * oh * ow
-				var s float32
-				for j := 0; j < oh*ow; j++ {
-					s += grad.Data[base+j]
+		biasPart = make([]float32, n*c.OutC)
+	}
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gMat := tensor.FromSlice(grad.Data[i*perOut:(i+1)*perOut], c.OutC, oh*ow)
+			// dW_i = gMat × colsᵀ
+			gws[i] = tensor.MatMulTransB(gMat, c.cols[i])
+			// dCols = Wᵀ × gMat ; dX = col2im(dCols)
+			dCols := tensor.MatMulTransA(wMat, gMat)
+			img := tensor.Col2Im(dCols, g)
+			copy(dx.Data[i*perIn:(i+1)*perIn], img.Data)
+			if c.UseBias {
+				for oc := 0; oc < c.OutC; oc++ {
+					base := (i*c.OutC + oc) * oh * ow
+					var s float32
+					for j := 0; j < oh*ow; j++ {
+						s += grad.Data[base+j]
+					}
+					biasPart[i*c.OutC+oc] = s
 				}
-				c.Bias.Grad.Data[oc] += s
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		gradW.Add(gws[i])
+		if c.UseBias {
+			for oc := 0; oc < c.OutC; oc++ {
+				c.Bias.Grad.Data[oc] += biasPart[i*c.OutC+oc]
 			}
 		}
 	}

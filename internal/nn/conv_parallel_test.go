@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"testing"
+
+	"seal/internal/parallel"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// convPass runs one train-mode forward/backward through a fresh-grad
+// Conv2D and returns every tensor the pass produced or accumulated.
+func convPass(c *Conv2D, x, upstream *tensor.Tensor) (out, dx, gw, gb *tensor.Tensor) {
+	c.Weight.ZeroGrad()
+	c.Bias.ZeroGrad()
+	out = c.Forward(x, true)
+	dx = c.Backward(upstream)
+	return out, dx, c.Weight.Grad.Clone(), c.Bias.Grad.Clone()
+}
+
+// TestConv2DParallelDeterministic verifies that batch-item parallelism
+// leaves forward activations, input gradients, and the index-ordered
+// weight/bias gradient reductions bit-identical to the serial path.
+func TestConv2DParallelDeterministic(t *testing.T) {
+	r := prng.New(3)
+	const n, inC, outC, hw = 5, 4, 6, 11
+	c := NewConv2D("conv", r, inC, outC, 3, 1, 1, hw, hw)
+	x := tensor.New(n, inC, hw, hw)
+	for i := range x.Data {
+		x.Data[i] = float32(r.NormFloat64())
+	}
+	upstream := tensor.New(n, outC, hw, hw)
+	for i := range upstream.Data {
+		upstream.Data[i] = float32(r.NormFloat64())
+	}
+
+	prev := parallel.SetWorkers(1)
+	sOut, sDx, sGw, sGb := convPass(c, x, upstream)
+	parallel.SetWorkers(8)
+	pOut, pDx, pGw, pGb := convPass(c, x, upstream)
+	parallel.SetWorkers(prev)
+
+	for _, pair := range []struct {
+		name        string
+		serial, par *tensor.Tensor
+	}{
+		{"forward", sOut, pOut},
+		{"dx", sDx, pDx},
+		{"gradW", sGw, pGw},
+		{"gradB", sGb, pGb},
+	} {
+		if !tensor.SameShape(pair.serial, pair.par) {
+			t.Fatalf("%s: shape %v vs %v", pair.name, pair.serial.Shape, pair.par.Shape)
+		}
+		for i := range pair.serial.Data {
+			if pair.serial.Data[i] != pair.par.Data[i] {
+				t.Fatalf("%s: element %d differs: serial %v parallel %v",
+					pair.name, i, pair.serial.Data[i], pair.par.Data[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"seal/internal/parallel"
+)
 
 // ConvGeom describes the geometry of a 2-D convolution or pooling window
 // applied to a single image of shape [C, H, W].
@@ -45,29 +49,38 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	cols := New(g.InC*g.KH*g.KW, oh*ow)
 	xd, cd := x.Data, cols.Data
 	ncols := oh * ow
-	for c := 0; c < g.InC; c++ {
-		chanBase := c * g.InH * g.InW
-		for kh := 0; kh < g.KH; kh++ {
-			for kw := 0; kw < g.KW; kw++ {
-				row := (c*g.KH+kh)*g.KW + kw
-				dst := cd[row*ncols : (row+1)*ncols]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.Stride + kh - g.Pad
-					if iy < 0 || iy >= g.InH {
-						continue // leave zeros
-					}
-					srcRow := chanBase + iy*g.InW
-					dstRow := oy * ow
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.Stride + kw - g.Pad
-						if ix < 0 || ix >= g.InW {
-							continue
+	// Rows [c*KH*KW, (c+1)*KH*KW) depend only on input channel c, so the
+	// channel loop shards cleanly across workers with disjoint outputs.
+	chans := func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			chanBase := c * g.InH * g.InW
+			for kh := 0; kh < g.KH; kh++ {
+				for kw := 0; kw < g.KW; kw++ {
+					row := (c*g.KH+kh)*g.KW + kw
+					dst := cd[row*ncols : (row+1)*ncols]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.Stride + kh - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue // leave zeros
 						}
-						dst[dstRow+ox] = xd[srcRow+ix]
+						srcRow := chanBase + iy*g.InW
+						dstRow := oy * ow
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*g.Stride + kw - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							dst[dstRow+ox] = xd[srcRow+ix]
+						}
 					}
 				}
 			}
 		}
+	}
+	if g.InC*g.KH*g.KW*ncols < minParallelOps {
+		chans(0, g.InC)
+	} else {
+		parallel.For(g.InC, 0, chans)
 	}
 	return cols
 }
@@ -83,29 +96,39 @@ func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
 	x := New(g.InC, g.InH, g.InW)
 	xd, cd := x.Data, cols.Data
 	ncols := oh * ow
-	for c := 0; c < g.InC; c++ {
-		chanBase := c * g.InH * g.InW
-		for kh := 0; kh < g.KH; kh++ {
-			for kw := 0; kw < g.KW; kw++ {
-				row := (c*g.KH+kh)*g.KW + kw
-				src := cd[row*ncols : (row+1)*ncols]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.Stride + kh - g.Pad
-					if iy < 0 || iy >= g.InH {
-						continue
-					}
-					dstRow := chanBase + iy*g.InW
-					srcRow := oy * ow
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.Stride + kw - g.Pad
-						if ix < 0 || ix >= g.InW {
+	// Output channel c accumulates only from kernel rows of channel c, so
+	// sharding the channel loop keeps writes disjoint and preserves the
+	// serial (kh, kw, oy, ox) accumulation order within each channel.
+	chans := func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			chanBase := c * g.InH * g.InW
+			for kh := 0; kh < g.KH; kh++ {
+				for kw := 0; kw < g.KW; kw++ {
+					row := (c*g.KH+kh)*g.KW + kw
+					src := cd[row*ncols : (row+1)*ncols]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.Stride + kh - g.Pad
+						if iy < 0 || iy >= g.InH {
 							continue
 						}
-						xd[dstRow+ix] += src[srcRow+ox]
+						dstRow := chanBase + iy*g.InW
+						srcRow := oy * ow
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*g.Stride + kw - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							xd[dstRow+ix] += src[srcRow+ox]
+						}
 					}
 				}
 			}
 		}
+	}
+	if g.InC*g.KH*g.KW*ncols < minParallelOps {
+		chans(0, g.InC)
+	} else {
+		parallel.For(g.InC, 0, chans)
 	}
 	return x
 }

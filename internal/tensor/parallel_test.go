@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"testing"
+
+	"seal/internal/parallel"
+	"seal/internal/prng"
+)
+
+// sparseTensor fills a tensor with deterministic values including exact
+// zeros, which exercise the GEMM zero-skip path identically in serial
+// and parallel runs.
+func sparseTensor(r *prng.Source, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		if r.Intn(16) == 0 {
+			continue
+		}
+		t.Data[i] = r.Float32()*2 - 1
+	}
+	return t
+}
+
+// bitIdentical requires exact equality — the parallel contract is
+// bit-identity with the serial path, not tolerance-based closeness.
+func bitIdentical(t *testing.T, name string, serial, par *Tensor) {
+	t.Helper()
+	if !SameShape(serial, par) {
+		t.Fatalf("%s: shape %v vs %v", name, serial.Shape, par.Shape)
+	}
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatalf("%s: element %d differs: serial %v parallel %v",
+				name, i, serial.Data[i], par.Data[i])
+		}
+	}
+}
+
+// runSerialAndParallel evaluates fn once with a 1-wide pool and once
+// with an 8-wide pool (sizes chosen so chunk boundaries differ from any
+// realistic GOMAXPROCS default).
+func runSerialAndParallel(t *testing.T, fn func() *Tensor) (serial, par *Tensor) {
+	t.Helper()
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	serial = fn()
+	parallel.SetWorkers(8)
+	par = fn()
+	return serial, par
+}
+
+func TestMatMulParallelDeterministic(t *testing.T) {
+	r := prng.New(11)
+	// 61 and 67 are deliberately not multiples of any grain size; 173k
+	// ops exceeds the serial cutover so the pool really engages.
+	a := sparseTensor(r, 61, 43)
+	b := sparseTensor(r, 43, 67)
+	serial, par := runSerialAndParallel(t, func() *Tensor { return MatMul(a, b) })
+	bitIdentical(t, "MatMul", serial, par)
+}
+
+func TestMatMulIntoParallelDeterministic(t *testing.T) {
+	r := prng.New(12)
+	a := sparseTensor(r, 64, 64)
+	b := sparseTensor(r, 64, 64)
+	c := New(64, 64)
+	serial, par := runSerialAndParallel(t, func() *Tensor {
+		MatMulInto(c, a, b)
+		return c.Clone()
+	})
+	bitIdentical(t, "MatMulInto", serial, par)
+}
+
+func TestMatMulTransAParallelDeterministic(t *testing.T) {
+	r := prng.New(13)
+	a := sparseTensor(r, 43, 61) // C = Aᵀ×B : [61,67]
+	b := sparseTensor(r, 43, 67)
+	serial, par := runSerialAndParallel(t, func() *Tensor { return MatMulTransA(a, b) })
+	bitIdentical(t, "MatMulTransA", serial, par)
+}
+
+func TestMatMulTransBParallelDeterministic(t *testing.T) {
+	r := prng.New(14)
+	a := sparseTensor(r, 61, 43) // C = A×Bᵀ : [61,67]
+	b := sparseTensor(r, 67, 43)
+	serial, par := runSerialAndParallel(t, func() *Tensor { return MatMulTransB(a, b) })
+	bitIdentical(t, "MatMulTransB", serial, par)
+}
+
+func TestIm2ColCol2ImParallelDeterministic(t *testing.T) {
+	r := prng.New(15)
+	g := ConvGeom{InC: 24, InH: 19, InW: 19, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := sparseTensor(r, g.InC, g.InH, g.InW)
+	serialCols, parCols := runSerialAndParallel(t, func() *Tensor { return Im2Col(x, g) })
+	bitIdentical(t, "Im2Col", serialCols, parCols)
+	serialImg, parImg := runSerialAndParallel(t, func() *Tensor { return Col2Im(serialCols, g) })
+	bitIdentical(t, "Col2Im", serialImg, parImg)
+}
+
+// BenchmarkMatMul measures the raw 512×512×512 GEMM — the kernel-level
+// view of the speedup, independent of the figure benchmarks. Compare
+// SEAL_WORKERS=1 against the default to isolate the pool's effect.
+func BenchmarkMatMul(b *testing.B) {
+	r := prng.New(1)
+	const n = 512
+	x := sparseTensor(r, n, n)
+	y := sparseTensor(r, n, n)
+	c := New(n, n)
+	b.SetBytes(3 * n * n * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, x, y)
+	}
+}

@@ -7,7 +7,18 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"seal/internal/parallel"
 )
+
+// minParallelOps is the kernel size (in multiply-accumulates) below
+// which the GEMM and im2col kernels stay serial: goroutine dispatch
+// costs on the order of a microsecond, so matrices smaller than this do
+// not amortize it. The cutover does not affect results — every parallel
+// kernel below produces each output element with the same per-element
+// operation order as the serial loop, so serial and parallel outputs
+// are bit-identical by construction.
+const minParallelOps = 1 << 15
 
 // Tensor is a dense row-major float32 array with an explicit shape.
 type Tensor struct {
@@ -248,7 +259,10 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes C = A×B into an existing C, which must have shape
-// [m,n]. C is overwritten.
+// [m,n]. C is overwritten. Rows of C are independent, so the kernel is
+// row-blocked across the worker pool; each row accumulates over k in
+// ascending order exactly as in the serial loop, keeping parallel
+// output bit-identical to serial.
 func MatMulInto(c, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
@@ -257,20 +271,27 @@ func MatMulInto(c, a, b *Tensor) {
 	}
 	c.Zero()
 	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		ai := ad[i*k : (i+1)*k]
-		ci := cd[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := bd[p*n : (p+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			ci := cd[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := bd[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
 			}
 		}
 	}
+	if m*k*n < minParallelOps {
+		rows(0, m)
+		return
+	}
+	parallel.For(m, 0, rows)
 }
 
 // MatMulTransA computes C = Aᵀ×B for A [k,m] and B [k,n] into C [m,n].
@@ -283,18 +304,29 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	n := b.Shape[1]
 	c := New(m, n)
 	ad, bd, cd := a.Data, b.Data, c.Data
-	for p := 0; p < k; p++ {
-		ap := ad[p*m : (p+1)*m]
-		bp := bd[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			ci := cd[i*n : (i+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
+	// Row-block the OUTPUT dimension m: each worker owns rows [lo,hi) of
+	// C and walks p in ascending order, so every C element sees the same
+	// accumulation order as the serial p-outer loop.
+	rows := func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := ad[p*m : (p+1)*m]
+			bp := bd[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				ci := cd[i*n : (i+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
 			}
 		}
+	}
+	if m*k*n < minParallelOps {
+		rows(0, m)
+	} else {
+		parallel.For(m, 0, rows)
 	}
 	return c
 }
@@ -309,17 +341,24 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	c := New(m, n)
 	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		ai := ad[i*k : (i+1)*k]
-		ci := cd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := bd[j*k : (j+1)*k]
-			var s float32
-			for p, av := range ai {
-				s += av * bj[p]
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			ci := cd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
 			}
-			ci[j] = s
 		}
+	}
+	if m*k*n < minParallelOps {
+		rows(0, m)
+	} else {
+		parallel.For(m, 0, rows)
 	}
 	return c
 }

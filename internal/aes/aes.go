@@ -5,13 +5,19 @@
 // applied to bus data, so the bus-snooper example can demonstrate real
 // ciphertext on the memory bus.
 //
-// The implementation favours clarity over speed (table generation at
-// init, byte-oriented rounds). It is NOT hardened against timing side
-// channels and must not be used as a general-purpose cipher outside this
-// simulator.
+// The hot path is the standard 32-bit T-table form (four 256-entry
+// tables per direction fusing SubBytes/ShiftRows/MixColumns, generated
+// at init from the derived S-box); the original byte-oriented round
+// functions are retained as an unexported reference implementation that
+// tests cross-check against. It is NOT hardened against timing side
+// channels and must not be used as a general-purpose cipher outside
+// this simulator.
 package aes
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // BlockSize is the AES block size in bytes.
 const BlockSize = 16
@@ -51,6 +57,38 @@ func init() {
 	for i := 0; i < 256; i++ {
 		invSbox[sbox[i]] = byte(i)
 	}
+	buildTables()
+}
+
+// T-tables for the 32-bit round form. te0[x] packs the MixColumns
+// contribution of S[x] to one output column as (2·S[x], S[x], S[x],
+// 3·S[x]) from the most- to least-significant byte; te1..te3 are byte
+// rotations of te0, so each state byte's whole SubBytes+MixColumns
+// effect is one lookup and the round is 16 lookups + XORs. td0..td3 are
+// the inverse tables over invSbox with the InvMixColumns coefficients
+// (0e, 09, 0d, 0b).
+var (
+	te0, te1, te2, te3 [256]uint32
+	td0, td1, td2, td3 [256]uint32
+)
+
+func buildTables() {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s2^s)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
+		is := invSbox[i]
+		w = uint32(gmul(is, 0x0e))<<24 | uint32(gmul(is, 0x09))<<16 |
+			uint32(gmul(is, 0x0d))<<8 | uint32(gmul(is, 0x0b))
+		td0[i] = w
+		td1[i] = w>>8 | w<<24
+		td2[i] = w>>16 | w<<16
+		td3[i] = w>>24 | w<<8
+	}
 }
 
 func mulBranch(p byte) byte {
@@ -80,7 +118,8 @@ func gmul(a, b byte) byte {
 
 // Cipher is an expanded AES-128 key schedule.
 type Cipher struct {
-	rk [44]uint32 // 11 round keys × 4 words
+	rk  [44]uint32 // 11 round keys × 4 words
+	drk [44]uint32 // decryption schedule: rounds reversed, middle keys InvMixColumns'd
 }
 
 // New expands a 16-byte key. It returns an error for any other length.
@@ -100,6 +139,22 @@ func New(key []byte) (*Cipher, error) {
 			rcon = uint32(xtime(byte(rcon>>24))) << 24
 		}
 		c.rk[i] = c.rk[i-4] ^ t
+	}
+	// Equivalent inverse cipher (FIPS-197 §5.3.5): decryption walks the
+	// round keys backwards, with InvMixColumns applied to every key
+	// except the first and last so the decrypt round can use the same
+	// fused table form as encryption. invSbox[sbox[b]] = b turns the td
+	// tables into a pure InvMixColumns when indexed through sbox.
+	for i := 0; i < 44; i += 4 {
+		ei := 40 - i
+		for j := 0; j < 4; j++ {
+			x := c.rk[ei+j]
+			if i > 0 && i < 40 {
+				x = td0[sbox[x>>24]] ^ td1[sbox[x>>16&0xff]] ^
+					td2[sbox[x>>8&0xff]] ^ td3[sbox[x&0xff]]
+			}
+			c.drk[i+j] = x
+		}
 	}
 	return c, nil
 }
@@ -170,11 +225,73 @@ func (s *state) invMixColumns() {
 }
 
 // Encrypt transforms one 16-byte block dst = E_k(src). dst and src may
-// overlap.
+// overlap. The nine middle rounds fuse SubBytes/ShiftRows/MixColumns
+// into four table lookups per column; the final round (no MixColumns)
+// assembles S-box bytes directly.
 func (c *Cipher) Encrypt(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: Encrypt block too short")
 	}
+	rk := &c.rk
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ rk[3]
+	k := 4
+	for round := 1; round < 10; round++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ rk[k]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ rk[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ rk[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	u0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	u1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	u2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	u3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	binary.BigEndian.PutUint32(dst[0:4], u0^rk[40])
+	binary.BigEndian.PutUint32(dst[4:8], u1^rk[41])
+	binary.BigEndian.PutUint32(dst[8:12], u2^rk[42])
+	binary.BigEndian.PutUint32(dst[12:16], u3^rk[43])
+}
+
+// Decrypt transforms one 16-byte block dst = D_k(src). dst and src may
+// overlap. It uses the equivalent inverse cipher over the drk schedule,
+// so the round structure mirrors Encrypt with the td tables and the
+// inverse (rightward) ShiftRows byte selection.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: Decrypt block too short")
+	}
+	rk := &c.drk
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ rk[3]
+	k := 4
+	for round := 1; round < 10; round++ {
+		t0 := td0[s0>>24] ^ td1[s3>>16&0xff] ^ td2[s2>>8&0xff] ^ td3[s1&0xff] ^ rk[k]
+		t1 := td0[s1>>24] ^ td1[s0>>16&0xff] ^ td2[s3>>8&0xff] ^ td3[s2&0xff] ^ rk[k+1]
+		t2 := td0[s2>>24] ^ td1[s1>>16&0xff] ^ td2[s0>>8&0xff] ^ td3[s3&0xff] ^ rk[k+2]
+		t3 := td0[s3>>24] ^ td1[s2>>16&0xff] ^ td2[s1>>8&0xff] ^ td3[s0&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	u0 := uint32(invSbox[s0>>24])<<24 | uint32(invSbox[s3>>16&0xff])<<16 | uint32(invSbox[s2>>8&0xff])<<8 | uint32(invSbox[s1&0xff])
+	u1 := uint32(invSbox[s1>>24])<<24 | uint32(invSbox[s0>>16&0xff])<<16 | uint32(invSbox[s3>>8&0xff])<<8 | uint32(invSbox[s2&0xff])
+	u2 := uint32(invSbox[s2>>24])<<24 | uint32(invSbox[s1>>16&0xff])<<16 | uint32(invSbox[s0>>8&0xff])<<8 | uint32(invSbox[s3&0xff])
+	u3 := uint32(invSbox[s3>>24])<<24 | uint32(invSbox[s2>>16&0xff])<<16 | uint32(invSbox[s1>>8&0xff])<<8 | uint32(invSbox[s0&0xff])
+	binary.BigEndian.PutUint32(dst[0:4], u0^rk[40])
+	binary.BigEndian.PutUint32(dst[4:8], u1^rk[41])
+	binary.BigEndian.PutUint32(dst[8:12], u2^rk[42])
+	binary.BigEndian.PutUint32(dst[12:16], u3^rk[43])
+}
+
+// encryptRef is the original byte-oriented FIPS-197 round sequence,
+// kept as the reference implementation the T-table path is tested
+// against.
+func (c *Cipher) encryptRef(dst, src []byte) {
 	var s state
 	copy(s[:], src[:BlockSize])
 	s.addRoundKey(c.rk[0:4])
@@ -190,12 +307,9 @@ func (c *Cipher) Encrypt(dst, src []byte) {
 	copy(dst[:BlockSize], s[:])
 }
 
-// Decrypt transforms one 16-byte block dst = D_k(src). dst and src may
-// overlap.
-func (c *Cipher) Decrypt(dst, src []byte) {
-	if len(src) < BlockSize || len(dst) < BlockSize {
-		panic("aes: Decrypt block too short")
-	}
+// decryptRef is the byte-oriented inverse cipher retained as the
+// reference implementation for Decrypt.
+func (c *Cipher) decryptRef(dst, src []byte) {
 	var s state
 	copy(s[:], src[:BlockSize])
 	s.addRoundKey(c.rk[40:44])

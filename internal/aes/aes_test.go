@@ -79,6 +79,94 @@ func TestSP80038AVectors(t *testing.T) {
 	}
 }
 
+// TestFIPS197AppendixC1Decrypt checks the decrypt direction of the
+// AES-128 known-answer vector from FIPS-197 Appendix C.1.
+func TestFIPS197AppendixC1Decrypt(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	ct := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	want := unhex(t, "00112233445566778899aabbccddeeff")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Decrypt(got, ct)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("decrypt = %x, want %x", got, want)
+	}
+}
+
+// TestSP80038AVectorsDecrypt checks the ECB-AES128.Decrypt known
+// answers from NIST SP 800-38A F.1.2 (same key and blocks as F.1.1,
+// run through the inverse cipher).
+func TestSP80038AVectorsDecrypt(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ pt, ct string }{
+		{"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+		{"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+		{"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+		{"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+	}
+	got := make([]byte, 16)
+	for i, tc := range cases {
+		c.Decrypt(got, unhex(t, tc.ct))
+		if !bytes.Equal(got, unhex(t, tc.pt)) {
+			t.Fatalf("block %d: got %x, want %s", i, got, tc.pt)
+		}
+	}
+}
+
+// TestDecryptInPlace mirrors TestEncryptInPlace for the inverse cipher.
+func TestDecryptInPlace(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	c, _ := New(key)
+	buf := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c.Decrypt(buf, buf)
+	want := unhex(t, "00112233445566778899aabbccddeeff")
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("in-place decrypt = %x, want %x", buf, want)
+	}
+}
+
+// TestTTableMatchesReference cross-checks the T-table cipher against
+// the retained byte-oriented reference implementation on 1k random
+// (key, block) pairs in both directions. Any divergence in table
+// generation, the fused round form, or the inverse key schedule shows
+// up here before it can silently change simulator ciphertext.
+func TestTTableMatchesReference(t *testing.T) {
+	r := prng.New(0xae5)
+	key := make([]byte, KeySize)
+	blk := make([]byte, BlockSize)
+	fast := make([]byte, BlockSize)
+	ref := make([]byte, BlockSize)
+	for trial := 0; trial < 1000; trial++ {
+		for i := range key {
+			key[i] = byte(r.Uint64())
+		}
+		for i := range blk {
+			blk[i] = byte(r.Uint64())
+		}
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Encrypt(fast, blk)
+		c.encryptRef(ref, blk)
+		if !bytes.Equal(fast, ref) {
+			t.Fatalf("trial %d: encrypt %x, reference %x", trial, fast, ref)
+		}
+		c.Decrypt(fast, blk)
+		c.decryptRef(ref, blk)
+		if !bytes.Equal(fast, ref) {
+			t.Fatalf("trial %d: decrypt %x, reference %x", trial, fast, ref)
+		}
+	}
+}
+
 func TestNewRejectsBadKeySizes(t *testing.T) {
 	for _, n := range []int{0, 8, 15, 17, 24, 32} {
 		if _, err := New(make([]byte, n)); err == nil {
@@ -212,12 +300,72 @@ func TestDirectModeRejectsPartialBlocks(t *testing.T) {
 	EncryptDirect(c, make([]byte, 20), make([]byte, 20), 0)
 }
 
+// TestShortDstPanicsUpFront checks that every bulk entry point rejects
+// a destination shorter than the source before writing anything — the
+// documented contract used to be unchecked in XORKeyStream, where a
+// short dst panicked mid-stream after partial writes.
+func TestShortDstPanicsUpFront(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	ctr := NewCTR(c)
+	src := make([]byte, 64)
+	cases := []struct {
+		name string
+		fn   func(dst []byte)
+	}{
+		{"XORKeyStream", func(dst []byte) { ctr.XORKeyStream(dst, src, 0x1000, 1) }},
+		{"EncryptDirect", func(dst []byte) { EncryptDirect(c, dst, src, 0x1000) }},
+		{"DecryptDirect", func(dst []byte) { DecryptDirect(c, dst, src, 0x1000) }},
+	}
+	for _, tc := range cases {
+		dst := make([]byte, len(src)-1)
+		unwritten := append([]byte(nil), dst...)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: short dst accepted", tc.name)
+				}
+			}()
+			tc.fn(dst)
+		}()
+		if !bytes.Equal(dst, unwritten) {
+			t.Errorf("%s: short dst partially written before panic", tc.name)
+		}
+	}
+}
+
+// TestXORKeyStreamInPlace checks the documented aliasing contract: the
+// fused generate-into-dst path must load source words before the
+// keystream overwrites them.
+func TestXORKeyStreamInPlace(t *testing.T) {
+	c, _ := New(unhex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	ctr := NewCTR(c)
+	buf := make([]byte, 64+5) // exercises the partial tail block too
+	for i := range buf {
+		buf[i] = byte(i * 3)
+	}
+	want := make([]byte, len(buf))
+	ctr.XORKeyStream(want, buf, 0xbeef, 3)
+	ctr.XORKeyStream(buf, buf, 0xbeef, 3)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("in-place XORKeyStream differs from out-of-place")
+	}
+}
+
 func BenchmarkEncryptBlock(b *testing.B) {
 	c, _ := New(make([]byte, 16))
 	buf := make([]byte, 16)
 	b.SetBytes(16)
 	for i := 0; i < b.N; i++ {
 		c.Encrypt(buf, buf)
+	}
+}
+
+func BenchmarkDecryptBlock(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Decrypt(buf, buf)
 	}
 }
 

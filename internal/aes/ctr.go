@@ -8,9 +8,10 @@ import (
 
 // ctrGrainBlocks is the chunk size (in AES blocks) handed to each worker
 // when a keystream request is long enough to parallelize: 64 blocks is
-// 1 KiB of pad, far above goroutine dispatch cost at ~0.5 µs per
-// byte-oriented block encryption. Requests shorter than one chunk — every
-// per-cache-line pad in the simulator — take the serial path untouched.
+// 1 KiB of pad, far above goroutine dispatch cost even now that a
+// T-table block encryption runs in ~100 ns. Requests shorter than one
+// chunk — every per-cache-line pad in the simulator — take the serial
+// path untouched.
 const ctrGrainBlocks = 64
 
 // CTR implements counter-mode keystream generation as used by
@@ -33,26 +34,32 @@ type CTR struct {
 // NewCTR wraps an expanded key for counter-mode use.
 func NewCTR(c *Cipher) *CTR { return &CTR{c: c} }
 
-// ctrBlock computes keystream block blk for (lineAddr, counter) into out.
-func (ct *CTR) ctrBlock(out *[BlockSize]byte, lineAddr, counter uint64, blk int) {
-	var in [BlockSize]byte
+// ctrInput fills the counter block for (lineAddr, counter, blk).
+func ctrInput(in *[BlockSize]byte, lineAddr, counter uint64, blk int) {
 	binary.BigEndian.PutUint64(in[0:8], lineAddr)
 	binary.BigEndian.PutUint64(in[8:16], counter^uint64(blk)<<56)
-	ct.c.Encrypt(out[:], in[:])
 }
 
 // Pad computes the one-time pad for a memory block identified by its
 // line address and per-line write counter. n is the pad length in bytes
 // and may exceed one AES block; successive blocks increment the block
-// index field.
+// index field. Full keystream blocks are encrypted directly into the
+// pad slice; only a trailing partial block goes through a stack buffer.
 func (ct *CTR) Pad(lineAddr uint64, counter uint64, n int) []byte {
 	pad := make([]byte, n)
 	nblk := (n + BlockSize - 1) / BlockSize
 	gen := func(lo, hi int) {
-		var out [BlockSize]byte
+		var in [BlockSize]byte
 		for blk := lo; blk < hi; blk++ {
-			ct.ctrBlock(&out, lineAddr, counter, blk)
-			copy(pad[blk*BlockSize:], out[:])
+			ctrInput(&in, lineAddr, counter, blk)
+			off := blk * BlockSize
+			if off+BlockSize <= n {
+				ct.c.Encrypt(pad[off:off+BlockSize], in[:])
+			} else {
+				var out [BlockSize]byte
+				ct.c.Encrypt(out[:], in[:])
+				copy(pad[off:], out[:n-off])
+			}
 		}
 	}
 	if nblk <= ctrGrainBlocks {
@@ -65,22 +72,35 @@ func (ct *CTR) Pad(lineAddr uint64, counter uint64, n int) []byte {
 
 // XORKeyStream encrypts (or decrypts — the operation is an involution)
 // src into dst using the pad for (lineAddr, counter). len(dst) must be
-// at least len(src). Pad generation and the XOR are fused per chunk, so
-// long streams never materialize a second full-length pad buffer.
+// at least len(src); dst and src may be the same slice. Pad generation
+// and the XOR are fused per chunk, so long streams never materialize a
+// second full-length pad buffer: each full keystream block is encrypted
+// straight into dst (the src words are loaded first, so exact aliasing
+// is safe) and XORed in as two uint64 words.
 func (ct *CTR) XORKeyStream(dst, src []byte, lineAddr, counter uint64) {
 	n := len(src)
+	if len(dst) < n {
+		panic("aes: XORKeyStream dst shorter than src")
+	}
 	nblk := (n + BlockSize - 1) / BlockSize
 	xor := func(lo, hi int) {
-		var out [BlockSize]byte
+		var in [BlockSize]byte
 		for blk := lo; blk < hi; blk++ {
-			ct.ctrBlock(&out, lineAddr, counter, blk)
+			ctrInput(&in, lineAddr, counter, blk)
 			off := blk * BlockSize
-			end := off + BlockSize
-			if end > n {
-				end = n
-			}
-			for i := off; i < end; i++ {
-				dst[i] = src[i] ^ out[i-off]
+			if off+BlockSize <= n {
+				s0 := binary.LittleEndian.Uint64(src[off : off+8])
+				s1 := binary.LittleEndian.Uint64(src[off+8 : off+16])
+				d := dst[off : off+BlockSize]
+				ct.c.Encrypt(d, in[:])
+				binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(d[0:8])^s0)
+				binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(d[8:16])^s1)
+			} else {
+				var out [BlockSize]byte
+				ct.c.Encrypt(out[:], in[:])
+				for i := off; i < n; i++ {
+					dst[i] = src[i] ^ out[i-off]
+				}
 			}
 		}
 	}
@@ -97,22 +117,33 @@ func (ct *CTR) XORKeyStream(dst, src []byte, lineAddr, counter uint64) {
 // identical plaintext lines at different addresses produce different
 // ciphertext. Direct encryption requires the data itself before any
 // cryptographic work can start, which is why it serializes with the DRAM
-// access in the timing model.
+// access in the timing model. len(dst) must be at least len(src); the
+// tweaked words are staged in dst and encrypted in place, so exact
+// aliasing is safe.
 func EncryptDirect(c *Cipher, dst, src []byte, lineAddr uint64) {
-	if len(dst) < len(src) || len(src)%BlockSize != 0 {
+	if len(dst) < len(src) {
+		panic("aes: EncryptDirect dst shorter than src")
+	}
+	if len(src)%BlockSize != 0 {
 		panic("aes: EncryptDirect requires whole blocks")
 	}
-	var buf [BlockSize]byte
 	for off := 0; off < len(src); off += BlockSize {
-		copy(buf[:], src[off:off+BlockSize])
-		binary.BigEndian.PutUint64(buf[0:8], binary.BigEndian.Uint64(buf[0:8])^lineAddr^uint64(off))
-		c.Encrypt(dst[off:off+BlockSize], buf[:])
+		w0 := binary.BigEndian.Uint64(src[off:off+8]) ^ lineAddr ^ uint64(off)
+		w1 := binary.BigEndian.Uint64(src[off+8 : off+16])
+		d := dst[off : off+BlockSize]
+		binary.BigEndian.PutUint64(d[0:8], w0)
+		binary.BigEndian.PutUint64(d[8:16], w1)
+		c.Encrypt(d, d)
 	}
 }
 
-// DecryptDirect inverts EncryptDirect.
+// DecryptDirect inverts EncryptDirect. len(dst) must be at least
+// len(src).
 func DecryptDirect(c *Cipher, dst, src []byte, lineAddr uint64) {
-	if len(dst) < len(src) || len(src)%BlockSize != 0 {
+	if len(dst) < len(src) {
+		panic("aes: DecryptDirect dst shorter than src")
+	}
+	if len(src)%BlockSize != 0 {
 		panic("aes: DecryptDirect requires whole blocks")
 	}
 	for off := 0; off < len(src); off += BlockSize {

@@ -11,7 +11,6 @@ package dram
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Config describes one memory channel.
@@ -92,6 +91,7 @@ type Channel struct {
 	banks    []bank
 	busFree  float64
 	stats    Stats
+	doneBuf  []*Request // Tick's return slice, reused across cycles
 }
 
 // NewChannel constructs a channel; it panics on invalid configuration.
@@ -139,9 +139,10 @@ func (ch *Channel) bankAndRow(addr uint64) (int, uint64) {
 }
 
 // Tick advances the channel to time now: it retires finished requests
-// (returned to the caller) and issues at most one queued request.
+// (returned to the caller) and issues at most one queued request. The
+// returned slice is valid until the next Tick call.
 func (ch *Channel) Tick(now float64) []*Request {
-	var done []*Request
+	done := ch.doneBuf[:0]
 	keep := ch.inflight[:0]
 	for _, r := range ch.inflight {
 		if r.Done <= now {
@@ -151,8 +152,15 @@ func (ch *Channel) Tick(now float64) []*Request {
 		}
 	}
 	ch.inflight = keep
-	if len(done) > 1 {
-		sort.Slice(done, func(i, j int) bool { return done[i].Done < done[j].Done })
+	ch.doneBuf = done
+	// Completions must come back in time order. The shared bus already
+	// serializes Done times in issue order, so inflight is sorted and
+	// this insertion pass is a straight scan; it guards the invariant
+	// without sort.Slice's per-call closure allocation.
+	for i := 1; i < len(done); i++ {
+		for j := i; j > 0 && done[j].Done < done[j-1].Done; j-- {
+			done[j], done[j-1] = done[j-1], done[j]
+		}
 	}
 
 	if len(ch.readQ) == 0 && len(ch.writeQ) == 0 {

@@ -45,6 +45,15 @@ type dramTag struct {
 	writeAddr uint64
 }
 
+// reqNode bundles a DRAM request with its routing tag so the pair can be
+// recycled together once the channel retires it. Request.Tag carries the
+// *reqNode itself — a pointer fits the interface data word, so re-tagging
+// a pooled node never allocates, where boxing a dramTag value did.
+type reqNode struct {
+	tag dramTag
+	req dram.Request
+}
+
 type arrival struct {
 	rec *memReq
 	at  float64
@@ -71,6 +80,8 @@ type partition struct {
 	overflowW []*dram.Request // writes waiting for DRAM write-queue space
 	responses []response      // completed requests to route back
 	reqID     uint64
+	freeNodes []*reqNode // retired request+tag pairs awaiting reuse
+	freeRecs  []*memReq  // answered SM requests awaiting reuse
 
 	extraReads  uint64 // counter-block fetches
 	extraWrites uint64 // counter/dirty-line writebacks
@@ -130,14 +141,44 @@ func (p *partition) dramSubmit(r *dram.Request) {
 	*over = append(*over, r)
 }
 
+// getNode returns a recycled request node or makes a new one. Nodes go
+// back on the free list when the channel retires them in tick.
+func (p *partition) getNode() *reqNode {
+	if n := len(p.freeNodes); n > 0 {
+		nd := p.freeNodes[n-1]
+		p.freeNodes = p.freeNodes[:n-1]
+		return nd
+	}
+	return &reqNode{}
+}
+
+// getRec returns a recycled SM request record or makes a new one.
+// Records recycle in respond, the single point where a request's last
+// reference (the emitted response) lets go of it.
+func (p *partition) getRec(smID int, addr uint64, write bool) *memReq {
+	if n := len(p.freeRecs); n > 0 {
+		rec := p.freeRecs[n-1]
+		p.freeRecs = p.freeRecs[:n-1]
+		*rec = memReq{smID: smID, addr: addr, write: write}
+		return rec
+	}
+	return &memReq{smID: smID, addr: addr, write: write}
+}
+
 func (p *partition) dramRead(addr uint64, at float64, tag dramTag) {
 	p.reqID++
-	p.dramSubmit(&dram.Request{ID: p.reqID, Addr: addr, Arrival: at, Tag: tag})
+	nd := p.getNode()
+	nd.tag = tag
+	nd.req = dram.Request{ID: p.reqID, Addr: addr, Arrival: at, Tag: nd}
+	p.dramSubmit(&nd.req)
 }
 
 func (p *partition) dramWrite(addr uint64, at float64) {
 	p.reqID++
-	p.dramSubmit(&dram.Request{ID: p.reqID, Addr: addr, Write: true, Arrival: at, Tag: dramTag{kind: tagWrite}})
+	nd := p.getNode()
+	nd.tag = dramTag{kind: tagWrite}
+	nd.req = dram.Request{ID: p.reqID, Addr: addr, Write: true, Arrival: at, Tag: nd}
+	p.dramSubmit(&nd.req)
 }
 
 func (p *partition) respond(rec *memReq, at float64) {
@@ -153,6 +194,11 @@ func (p *partition) respond(rec *memReq, at float64) {
 		}
 	}
 	p.responses = append(p.responses, response{smID: rec.smID, readyAt: at + p.cfg.InterconnectLat})
+	// The response is the last reference to rec: every DRAM fetch tagged
+	// with it (data, counter, MAC) has retired by the time the reply is
+	// emitted — counter reads rendezvous on dataDone/padDone, MAC reads
+	// hold the reply via respHeld — so the record can be reused.
+	p.freeRecs = append(p.freeRecs, rec)
 }
 
 // macLookup starts the MAC access for an authenticated protected read.
@@ -286,7 +332,8 @@ func (p *partition) tick(now float64) {
 		p.overflowW = p.overflowW[1:]
 	}
 	for _, dr := range p.ch.Tick(now) {
-		tag := dr.Tag.(dramTag)
+		nd := dr.Tag.(*reqNode)
+		tag := nd.tag
 		switch tag.kind {
 		case tagWrite:
 			// fire-and-forget
@@ -318,6 +365,9 @@ func (p *partition) tick(now float64) {
 				p.respond(rec, rec.respAt)
 			}
 		}
+		// Recycle only after the handler: a case that issues a fresh DRAM
+		// request could otherwise reuse this node while dr is still live.
+		p.freeNodes = append(p.freeNodes, nd)
 	}
 	// process arrivals due this cycle
 	n := 0

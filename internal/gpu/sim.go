@@ -1,18 +1,53 @@
 package gpu
 
 import (
-	"container/heap"
 	"fmt"
 )
 
-// floatHeap is a min-heap of response-ready times for one SM.
+// floatHeap is a min-heap of response-ready times for one SM. It is a
+// concrete []float64 heap rather than container/heap: the interface
+// version boxes every timestamp pushed through Push(any), one hidden
+// heap allocation per memory response on the simulator's hottest path,
+// and routes every comparison through dynamic dispatch.
 type floatHeap []float64
 
-func (h floatHeap) Len() int           { return len(h) }
-func (h floatHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h floatHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *floatHeap) Push(x any)        { *h = append(*h, x.(float64)) }
-func (h *floatHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h *floatHeap) push(v float64) {
+	s := append(*h, v)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *floatHeap) pop() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s[r] < s[l] {
+			min = r
+		}
+		if s[i] <= s[min] {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+}
 
 // sm is the in-order trace-replay model of one streaming multiprocessor.
 type sm struct {
@@ -140,7 +175,7 @@ func (s *Sim) Run(streams []Stream) (Result, error) {
 			p.tick(s.now)
 			// route responses to SM heaps
 			for _, resp := range p.responses {
-				heap.Push(&sms[resp.smID].resp, resp.readyAt)
+				sms[resp.smID].resp.push(resp.readyAt)
 			}
 			p.responses = p.responses[:0]
 		}
@@ -148,7 +183,7 @@ func (s *Sim) Run(streams []Stream) (Result, error) {
 		for id, m := range sms {
 			// retire responses
 			for len(m.resp) > 0 && m.resp[0] <= s.now {
-				heap.Pop(&m.resp)
+				m.resp.pop()
 				m.outstanding--
 			}
 			if m.finished() {
@@ -208,8 +243,8 @@ func (s *Sim) issue(id int, m *sm) {
 			m.stallCycles++
 			return // structural stall: wait for MSHR
 		}
-		rec := &memReq{smID: id, addr: op.Addr, write: op.Write}
 		p := s.parts[s.channelOf(op.Addr)]
+		rec := p.getRec(id, op.Addr, op.Write)
 		p.accept(rec, s.now+s.cfg.InterconnectLat)
 		m.outstanding++
 		m.warpInsts++

@@ -24,6 +24,47 @@ type Conv2D struct {
 	// cached forward state for backprop
 	cols    []*tensor.Tensor // per-sample im2col matrices
 	inShape []int
+
+	// inference workspaces: one scratch arena per worker chunk plus a
+	// reusable output tensor, so eval-mode Forward performs no heap
+	// allocations after the first call. See DESIGN.md §11 for the
+	// ownership rule: the returned tensor is owned by the layer and
+	// valid only until its next inference Forward.
+	wMat   *tensor.Tensor // cached KernelMatrix view of Weight.W
+	infWS  []*convWorkspace
+	infOut *tensor.Tensor
+}
+
+// convWorkspace is the per-chunk scratch arena of the inference path:
+// an im2col matrix, a GEMM output staging matrix, a GEMM packing panel,
+// and a reusable tensor header aimed at the current batch item. Each
+// concurrent chunk owns exactly one workspace, so writes stay disjoint.
+type convWorkspace struct {
+	img    *tensor.Tensor // header re-pointed at each item's input slice
+	cols   *tensor.Tensor // [InC*KH*KW, OutH*OutW]
+	outMat *tensor.Tensor // [OutC, OutH*OutW]
+	panel  []float32      // MatMulIntoWS packing scratch
+}
+
+func (c *Conv2D) newWorkspace() *convWorkspace {
+	g := c.Geom
+	kk := g.InC * g.KH * g.KW
+	ncols := g.OutH() * g.OutW()
+	return &convWorkspace{
+		img:    &tensor.Tensor{Shape: []int{g.InC, g.InH, g.InW}},
+		cols:   tensor.New(kk, ncols),
+		outMat: tensor.New(c.OutC, ncols),
+		panel:  make([]float32, tensor.MatMulPanelLen(kk)),
+	}
+}
+
+// kernelMat returns the cached kernel-matrix view, refreshed only if
+// the weight storage was replaced (e.g. by deserialization).
+func (c *Conv2D) kernelMat() *tensor.Tensor {
+	if c.wMat == nil || &c.wMat.Data[0] != &c.Weight.W.Data[0] {
+		c.wMat = c.KernelMatrix()
+	}
+	return c.wMat
 }
 
 // NewConv2D constructs a convolution layer with He initialization.
@@ -70,8 +111,11 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s input %v does not match geometry %+v", c.Name, x.Shape, g))
 	}
 	oh, ow := g.OutH(), g.OutW()
+	if !train {
+		return c.forwardInfer(x, n)
+	}
 	out := tensor.New(n, c.OutC, oh, ow)
-	wMat := c.KernelMatrix()
+	wMat := c.kernelMat()
 	c.cols = make([]*tensor.Tensor, n)
 	c.inShape = append([]int(nil), x.Shape...)
 	perIn := g.InC * g.InH * g.InW
@@ -99,10 +143,67 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	})
-	if !train {
-		c.cols = nil // free the caches when running inference only
-	}
 	return out
+}
+
+// forwardInfer is the allocation-free inference path: batch items run
+// through per-chunk reusable scratch arenas (im2col matrix, GEMM
+// staging matrix, packing panel) instead of fresh allocations, and the
+// output tensor itself is reused across calls while the batch size is
+// stable. The per-element arithmetic is exactly the train path's —
+// Im2ColInto zeroes-then-fills like a fresh Im2Col and MatMulIntoWS is
+// MatMulInto with caller-owned scratch — so eval results are
+// bit-identical to the allocating path. The returned tensor is owned by
+// the layer: it is valid until c's next inference Forward, which every
+// in-repo caller satisfies by consuming activations within the pass.
+func (c *Conv2D) forwardInfer(x *tensor.Tensor, n int) *tensor.Tensor {
+	c.cols = nil // inference never caches backprop state
+	wMat := c.kernelMat()
+	out := c.infOut
+	if out == nil || out.Shape[0] != n {
+		out = tensor.New(n, c.OutC, c.Geom.OutH(), c.Geom.OutW())
+		c.infOut = out
+	}
+	nchunks := parallel.Workers()
+	if nchunks > n {
+		nchunks = n
+	}
+	for len(c.infWS) < nchunks {
+		c.infWS = append(c.infWS, c.newWorkspace())
+	}
+	if nchunks == 1 {
+		c.inferRange(out, x, wMat, 0, n, c.infWS[0])
+		return out
+	}
+	// Chunk index lo/grain is unique per chunk, so each concurrent
+	// chunk gets a private workspace; outputs are disjoint by item.
+	grain := (n + nchunks - 1) / nchunks
+	parallel.For(n, grain, func(lo, hi int) {
+		c.inferRange(out, x, wMat, lo, hi, c.infWS[lo/grain])
+	})
+	return out
+}
+
+func (c *Conv2D) inferRange(out, x, wMat *tensor.Tensor, lo, hi int, ws *convWorkspace) {
+	g := c.Geom
+	oh, ow := g.OutH(), g.OutW()
+	perIn := g.InC * g.InH * g.InW
+	perOut := c.OutC * oh * ow
+	for i := lo; i < hi; i++ {
+		ws.img.Data = x.Data[i*perIn : (i+1)*perIn]
+		tensor.Im2ColInto(ws.cols, ws.img, g)
+		tensor.MatMulIntoWS(ws.outMat, wMat, ws.cols, ws.panel)
+		copy(out.Data[i*perOut:(i+1)*perOut], ws.outMat.Data)
+		if c.UseBias {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.W.Data[oc]
+				base := (i*c.OutC + oc) * oh * ow
+				for j := 0; j < oh*ow; j++ {
+					out.Data[base+j] += b
+				}
+			}
+		}
+	}
 }
 
 // Backward implements Module. grad has shape [N, OutC, OutH, OutW].

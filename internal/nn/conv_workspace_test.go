@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"testing"
+
+	"seal/internal/parallel"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// randomBatch fills an NCHW input with deterministic normal noise.
+func randomBatch(r *prng.Source, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = float32(r.NormFloat64())
+	}
+	return x
+}
+
+// TestConvInferenceMatchesTrainForward verifies the workspace-reusing
+// inference path is bit-identical to the allocating train-mode forward,
+// including after a warm-up call has dirtied every scratch buffer and
+// across a batch-size change that forces an output reallocation.
+func TestConvInferenceMatchesTrainForward(t *testing.T) {
+	r := prng.New(31)
+	c := NewConv2D("conv", r, 3, 8, 3, 1, 1, 13, 13)
+	for _, n := range []int{4, 4, 2, 5} {
+		x := randomBatch(r, n, 3, 13, 13)
+		want := c.Forward(x, true)
+		got := c.Forward(x, false)
+		if !tensor.SameShape(want, got) {
+			t.Fatalf("n=%d: shape %v vs %v", n, want.Shape, got.Shape)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("n=%d: element %d differs: train %v infer %v", n, i, want.Data[i], got.Data[i])
+			}
+		}
+	}
+}
+
+// TestConvInferenceParallelDeterministic verifies the chunked
+// inference path is bit-identical to SEAL_WORKERS=1 (each chunk owns a
+// private workspace, so width must not change any value).
+func TestConvInferenceParallelDeterministic(t *testing.T) {
+	r := prng.New(32)
+	c := NewConv2D("conv", r, 4, 6, 3, 1, 1, 11, 11)
+	x := randomBatch(r, 5, 4, 11, 11)
+	prev := parallel.SetWorkers(1)
+	serial := c.Forward(x, false).Clone()
+	parallel.SetWorkers(8)
+	par := c.Forward(x, false)
+	parallel.SetWorkers(prev)
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatalf("element %d differs: serial %v parallel %v", i, serial.Data[i], par.Data[i])
+		}
+	}
+}
+
+// TestConvInferenceZeroAllocs is the allocation regression test for the
+// workspace path: after a warm-up call, inference-mode Forward must not
+// touch the heap at all. It pins the pool to one worker — the
+// multi-worker path allocates its dispatch closure, and this container
+// is single-core anyway.
+func TestConvInferenceZeroAllocs(t *testing.T) {
+	r := prng.New(33)
+	c := NewConv2D("conv", r, 8, 16, 3, 1, 1, 16, 16)
+	x := randomBatch(r, 2, 8, 16, 16)
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	c.Forward(x, false) // warm-up: builds workspaces and output
+	allocs := testing.AllocsPerRun(20, func() {
+		c.Forward(x, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("inference Forward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkConvForward measures an inference-mode VGG-style 3×3
+// convolution (64→64 channels on a 32×32 map), the shape class that
+// dominates every figure's wall-clock time.
+func BenchmarkConvForward(b *testing.B) {
+	r := prng.New(34)
+	c := NewConv2D("conv", r, 64, 64, 3, 1, 1, 32, 32)
+	x := randomBatch(r, 1, 64, 32, 32)
+	b.SetBytes(int64(x.Size()+64*32*32) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x, false)
+	}
+}

@@ -42,47 +42,66 @@ func (g ConvGeom) Validate() error {
 // SEAL tie each kernel row (input channel) to exactly one input feature
 // map channel (paper §III-A, Figure 2).
 func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	cols := New(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	Im2ColInto(cols, x, g)
+	return cols
+}
+
+// Im2ColInto expands x into a caller-owned cols matrix of shape
+// [C*KH*KW, OutH*OutW], overwriting it completely (padding positions
+// are zeroed first, so a reused workspace yields the same result as a
+// fresh allocation). It is the Into-style entry point the inference
+// workspace path in internal/nn threads its scratch arena through.
+func Im2ColInto(cols *Tensor, x *Tensor, g ConvGeom) {
 	if len(x.Shape) != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", x.Shape, g))
 	}
 	oh, ow := g.OutH(), g.OutW()
-	cols := New(g.InC*g.KH*g.KW, oh*ow)
+	if len(cols.Shape) != 2 || cols.Shape[0] != g.InC*g.KH*g.KW || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColInto output %v does not match geometry %+v", cols.Shape, g))
+	}
+	cols.Zero()
 	xd, cd := x.Data, cols.Data
 	ncols := oh * ow
 	// Rows [c*KH*KW, (c+1)*KH*KW) depend only on input channel c, so the
 	// channel loop shards cleanly across workers with disjoint outputs.
-	chans := func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			chanBase := c * g.InH * g.InW
-			for kh := 0; kh < g.KH; kh++ {
-				for kw := 0; kw < g.KW; kw++ {
-					row := (c*g.KH+kh)*g.KW + kw
-					dst := cd[row*ncols : (row+1)*ncols]
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*g.Stride + kh - g.Pad
-						if iy < 0 || iy >= g.InH {
-							continue // leave zeros
+	// Workers()==1 calls the range kernel directly (no closure, no
+	// allocation on the hot inference path).
+	if g.InC*g.KH*g.KW*ncols < minParallelOps || parallel.Workers() == 1 {
+		im2colChans(cd, xd, g, oh, ow, 0, g.InC)
+	} else {
+		parallel.For(g.InC, 0, func(lo, hi int) { im2colChans(cd, xd, g, oh, ow, lo, hi) })
+	}
+}
+
+// im2colChans fills the rows of channels [lo, hi) of an im2col matrix
+// whose padding positions are already zero.
+func im2colChans(cd, xd []float32, g ConvGeom, oh, ow, lo, hi int) {
+	ncols := oh * ow
+	for c := lo; c < hi; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dst := cd[row*ncols : (row+1)*ncols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue // leave zeros
+					}
+					srcRow := chanBase + iy*g.InW
+					dstRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
 						}
-						srcRow := chanBase + iy*g.InW
-						dstRow := oy * ow
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*g.Stride + kw - g.Pad
-							if ix < 0 || ix >= g.InW {
-								continue
-							}
-							dst[dstRow+ox] = xd[srcRow+ix]
-						}
+						dst[dstRow+ox] = xd[srcRow+ix]
 					}
 				}
 			}
 		}
 	}
-	if g.InC*g.KH*g.KW*ncols < minParallelOps {
-		chans(0, g.InC)
-	} else {
-		parallel.For(g.InC, 0, chans)
-	}
-	return cols
 }
 
 // Col2Im scatters a [C*KH*KW, OutH*OutW] column matrix back into an image
@@ -99,36 +118,40 @@ func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
 	// Output channel c accumulates only from kernel rows of channel c, so
 	// sharding the channel loop keeps writes disjoint and preserves the
 	// serial (kh, kw, oy, ox) accumulation order within each channel.
-	chans := func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			chanBase := c * g.InH * g.InW
-			for kh := 0; kh < g.KH; kh++ {
-				for kw := 0; kw < g.KW; kw++ {
-					row := (c*g.KH+kh)*g.KW + kw
-					src := cd[row*ncols : (row+1)*ncols]
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*g.Stride + kh - g.Pad
-						if iy < 0 || iy >= g.InH {
+	if g.InC*g.KH*g.KW*ncols < minParallelOps || parallel.Workers() == 1 {
+		col2imChans(xd, cd, g, oh, ow, 0, g.InC)
+	} else {
+		parallel.For(g.InC, 0, func(lo, hi int) { col2imChans(xd, cd, g, oh, ow, lo, hi) })
+	}
+	return x
+}
+
+// col2imChans scatters the kernel rows of channels [lo, hi) back into
+// the image, accumulating overlapping contributions.
+func col2imChans(xd, cd []float32, g ConvGeom, oh, ow, lo, hi int) {
+	ncols := oh * ow
+	for c := lo; c < hi; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				src := cd[row*ncols : (row+1)*ncols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					dstRow := chanBase + iy*g.InW
+					srcRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
 							continue
 						}
-						dstRow := chanBase + iy*g.InW
-						srcRow := oy * ow
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*g.Stride + kw - g.Pad
-							if ix < 0 || ix >= g.InW {
-								continue
-							}
-							xd[dstRow+ix] += src[srcRow+ox]
-						}
+						xd[dstRow+ix] += src[srcRow+ox]
 					}
 				}
 			}
 		}
 	}
-	if g.InC*g.KH*g.KW*ncols < minParallelOps {
-		chans(0, g.InC)
-	} else {
-		parallel.For(g.InC, 0, chans)
-	}
-	return x
 }

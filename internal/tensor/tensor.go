@@ -258,40 +258,105 @@ func MatMul(a, b *Tensor) *Tensor {
 	return c
 }
 
+// matMulPanelCols is the register-block width of the GEMM inner kernel:
+// eight C columns are held in registers across the whole k loop.
+const matMulPanelCols = 8
+
+// MatMulPanelLen returns the scratch length MatMulIntoWS needs for a
+// given inner dimension k (one packed B panel of k×8 floats). Callers
+// that reuse a workspace across calls size it with this.
+func MatMulPanelLen(k int) int { return k * matMulPanelCols }
+
 // MatMulInto computes C = A×B into an existing C, which must have shape
-// [m,n]. C is overwritten. Rows of C are independent, so the kernel is
-// row-blocked across the worker pool; each row accumulates over k in
-// ascending order exactly as in the serial loop, keeping parallel
-// output bit-identical to serial.
-func MatMulInto(c, a, b *Tensor) {
+// [m,n]. C is overwritten. It allocates a transient packing panel; hot
+// loops that must not allocate pass a reusable one to MatMulIntoWS.
+func MatMulInto(c, a, b *Tensor) { MatMulIntoWS(c, a, b, nil) }
+
+// MatMulIntoWS is MatMulInto with a caller-owned packing scratch of at
+// least MatMulPanelLen(k) floats (nil or short → allocated internally).
+// Rows of C are independent, so the kernel is row-blocked across the
+// worker pool; each row accumulates over k in ascending order exactly
+// as in the serial loop, keeping parallel output bit-identical to
+// serial.
+func MatMulIntoWS(c, a, b *Tensor, panel []float32) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	if c.Shape[0] != m || c.Shape[1] != n {
 		panic("tensor: MatMulInto output shape mismatch")
 	}
-	c.Zero()
 	ad, bd, cd := a.Data, b.Data, c.Data
-	rows := func(lo, hi int) {
+	// Workers()==1 skips the closure entirely: the serial path is a
+	// plain call, so hot inference loops stay allocation-free.
+	if m*k*n < minParallelOps || parallel.Workers() == 1 {
+		if len(panel) < k*matMulPanelCols {
+			panel = make([]float32, k*matMulPanelCols)
+		}
+		matMulRows(cd, ad, bd, panel, k, n, 0, m)
+		return
+	}
+	// Each worker chunk packs its own panel: packing is O(k·n) per
+	// worker against O(k·n·rows) compute, and private panels keep the
+	// chunks write-disjoint.
+	parallel.For(m, 0, func(lo, hi int) {
+		matMulRows(cd, ad, bd, make([]float32, k*matMulPanelCols), k, n, lo, hi)
+	})
+}
+
+// matMulRows is the register-blocked GEMM inner kernel for output rows
+// [lo, hi). Eight C columns are held in registers across the whole k
+// loop, so each accumulator is loaded and stored once per row instead
+// of once per (p, j) pair. The B column block is first packed into the
+// contiguous panel — every matrix here has power-of-two row length, so
+// walking B column-wise in place would hit a cache-set conflict on
+// nearly every load; the packed panel streams sequentially and is
+// reused by all rows of the chunk. The unroll is across j only: every
+// c[i][j] still accumulates over p in ascending order with the same
+// av==0 skip as the scalar loop, and packing copies values exactly, so
+// the result is bit-identical to the serial reference — register
+// blocking changes the memory traffic, never the float operation order
+// within an output element.
+func matMulRows(cd, ad, bd, panel []float32, k, n, lo, hi int) {
+	nb := n &^ (matMulPanelCols - 1)
+	for j0 := 0; j0 < nb; j0 += matMulPanelCols {
+		pk := panel[: k*matMulPanelCols : k*matMulPanelCols]
+		for p := 0; p < k; p++ {
+			copy(pk[p*matMulPanelCols:(p+1)*matMulPanelCols], bd[p*n+j0:p*n+j0+matMulPanelCols])
+		}
 		for i := lo; i < hi; i++ {
 			ai := ad[i*k : (i+1)*k]
-			ci := cd[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := ai[p]
+			var c0, c1, c2, c3, c4, c5, c6, c7 float32
+			for p, av := range ai {
 				if av == 0 {
 					continue
 				}
-				bp := bd[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
+				bp := pk[p*8 : p*8+8 : p*8+8]
+				c0 += av * bp[0]
+				c1 += av * bp[1]
+				c2 += av * bp[2]
+				c3 += av * bp[3]
+				c4 += av * bp[4]
+				c5 += av * bp[5]
+				c6 += av * bp[6]
+				c7 += av * bp[7]
 			}
+			cj := cd[i*n+j0 : i*n+j0+8 : i*n+j0+8]
+			cj[0], cj[1], cj[2], cj[3] = c0, c1, c2, c3
+			cj[4], cj[5], cj[6], cj[7] = c4, c5, c6, c7
 		}
 	}
-	if m*k*n < minParallelOps {
-		rows(0, m)
-		return
+	for j := nb; j < n; j++ {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			var s float32
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				s += av * bd[p*n+j]
+			}
+			cd[i*n+j] = s
+		}
 	}
-	parallel.For(m, 0, rows)
 }
 
 // MatMulTransA computes C = Aᵀ×B for A [k,m] and B [k,n] into C [m,n].
@@ -307,28 +372,31 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	// Row-block the OUTPUT dimension m: each worker owns rows [lo,hi) of
 	// C and walks p in ascending order, so every C element sees the same
 	// accumulation order as the serial p-outer loop.
-	rows := func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			ap := ad[p*m : (p+1)*m]
-			bp := bd[p*n : (p+1)*n]
-			for i := lo; i < hi; i++ {
-				av := ap[i]
-				if av == 0 {
-					continue
-				}
-				ci := cd[i*n : (i+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
+	if m*k*n < minParallelOps || parallel.Workers() == 1 {
+		matMulTransARows(cd, ad, bd, k, m, n, 0, m)
+	} else {
+		parallel.For(m, 0, func(lo, hi int) { matMulTransARows(cd, ad, bd, k, m, n, lo, hi) })
+	}
+	return c
+}
+
+// matMulTransARows computes rows [lo, hi) of C = Aᵀ×B with the p-outer
+// loop order (each C element accumulates over p ascending).
+func matMulTransARows(cd, ad, bd []float32, k, m, n, lo, hi int) {
+	for p := 0; p < k; p++ {
+		ap := ad[p*m : (p+1)*m]
+		bp := bd[p*n : (p+1)*n]
+		for i := lo; i < hi; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			ci := cd[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
 			}
 		}
 	}
-	if m*k*n < minParallelOps {
-		rows(0, m)
-	} else {
-		parallel.For(m, 0, rows)
-	}
-	return c
 }
 
 // MatMulTransB computes C = A×Bᵀ for A [m,k] and B [n,k] into C [m,n].
@@ -341,26 +409,46 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	c := New(m, n)
 	ad, bd, cd := a.Data, b.Data, c.Data
-	rows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := ad[i*k : (i+1)*k]
-			ci := cd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := bd[j*k : (j+1)*k]
-				var s float32
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				ci[j] = s
-			}
-		}
-	}
-	if m*k*n < minParallelOps {
-		rows(0, m)
+	if m*k*n < minParallelOps || parallel.Workers() == 1 {
+		matMulTransBRows(cd, ad, bd, k, n, 0, m)
 	} else {
-		parallel.For(m, 0, rows)
+		parallel.For(m, 0, func(lo, hi int) { matMulTransBRows(cd, ad, bd, k, n, lo, hi) })
 	}
 	return c
+}
+
+// matMulTransBRows computes rows [lo, hi) of C = A×Bᵀ. Four output
+// columns (four B rows) are accumulated per pass over ai, which reuses
+// each av load four times; every dot product still sums over p in
+// ascending order, bit-identical to the one-column-at-a-time loop.
+func matMulTransBRows(cd, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := ad[i*k : (i+1)*k]
+		ci := cd[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := bd[j*k : (j+1)*k]
+			b1 := bd[(j+1)*k : (j+2)*k]
+			b2 := bd[(j+2)*k : (j+3)*k]
+			b3 := bd[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			bj := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
 }
 
 // Transpose returns a new rank-2 tensor that is the transpose of t.

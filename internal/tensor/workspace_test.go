@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"testing"
+
+	"seal/internal/prng"
+)
+
+// dirtyWorkspace fills a tensor with sentinel garbage so a test can
+// prove the Into-style kernels fully overwrite reused scratch.
+func dirtyWorkspace(t *Tensor) {
+	for i := range t.Data {
+		t.Data[i] = -1e30
+	}
+}
+
+// TestIm2ColIntoMatchesFresh verifies that a dirty reused workspace
+// produces exactly the matrix a fresh allocation would, including the
+// zero padding positions a stale buffer could leak through.
+func TestIm2ColIntoMatchesFresh(t *testing.T) {
+	r := prng.New(21)
+	g := ConvGeom{InC: 3, InH: 9, InW: 9, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ws := New(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	for trial := 0; trial < 3; trial++ {
+		x := sparseTensor(r, g.InC, g.InH, g.InW)
+		fresh := Im2Col(x, g)
+		dirtyWorkspace(ws)
+		Im2ColInto(ws, x, g)
+		bitIdentical(t, "Im2ColInto", fresh, ws)
+	}
+}
+
+// TestMatMulIntoWSMatchesFresh verifies that the packed-panel GEMM with
+// a caller-owned scratch is bit-identical to the allocating entry
+// point, across shapes that exercise the 8-wide blocks, the scalar
+// column remainder, and panels longer than one block.
+func TestMatMulIntoWSMatchesFresh(t *testing.T) {
+	r := prng.New(22)
+	shapes := []struct{ m, k, n int }{
+		{5, 7, 3},    // below the 8-column block: pure remainder path
+		{16, 24, 16}, // exact multiples
+		{33, 19, 29}, // blocks plus remainder
+		{64, 64, 64}, // above the parallel cutover
+	}
+	for _, s := range shapes {
+		a := sparseTensor(r, s.m, s.k)
+		b := sparseTensor(r, s.k, s.n)
+		want := MatMul(a, b)
+		got := New(s.m, s.n)
+		dirtyWorkspace(got)
+		panel := make([]float32, MatMulPanelLen(s.k))
+		for i := range panel {
+			panel[i] = -1e30 // scratch contents must not matter
+		}
+		MatMulIntoWS(got, a, b, panel)
+		bitIdentical(t, "MatMulIntoWS", want, got)
+	}
+}
+
+// TestMatMulIntoWSShortPanel verifies a too-short panel is replaced,
+// not overrun.
+func TestMatMulIntoWSShortPanel(t *testing.T) {
+	r := prng.New(23)
+	a := sparseTensor(r, 9, 11)
+	b := sparseTensor(r, 11, 10)
+	want := MatMul(a, b)
+	got := New(9, 10)
+	MatMulIntoWS(got, a, b, make([]float32, 4))
+	bitIdentical(t, "MatMulIntoWS short panel", want, got)
+}

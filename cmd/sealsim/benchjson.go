@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+
+	"seal/internal/exp"
+)
+
+// benchModeResult is one scheduler mode's measurement of the Figure-7
+// workload (full VGG-16/ResNet-18/ResNet-34 inference under all five
+// schemes at quick scale).
+type benchModeResult struct {
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	DirectVGG      float64 `json:"directVGG"`
+	SealOverDirect float64 `json:"sealOverDirect"`
+}
+
+// benchReport is the schema of BENCH_PR4.json.
+type benchReport struct {
+	Benchmark string          `json:"benchmark"`
+	Scale     string          `json:"scale"`
+	Fast      benchModeResult `json:"fast"`
+	Reference benchModeResult `json:"reference"`
+	// Speedup is reference ns/op over fast ns/op.
+	Speedup float64 `json:"speedup"`
+	// MetricsEqual is the bit-identity check: the full per-scheme,
+	// per-network IPC and cycle grids of the two schedulers compared
+	// with reflect.DeepEqual — not a tolerance.
+	MetricsEqual bool   `json:"metrics_equal"`
+	GoldenFile   string `json:"golden_file,omitempty"`
+	GoldenMatch  *bool  `json:"golden_match,omitempty"`
+}
+
+type golden struct {
+	DirectVGG      float64 `json:"directVGG"`
+	SealOverDirect float64 `json:"sealOverDirect"`
+	Tolerance      float64 `json:"tolerance"`
+}
+
+// benchNetworks measures exp.RunNetworks under testing.Benchmark with
+// the given scheduler and returns the timing plus the last run's
+// results (every run is deterministic, so "last" is "any").
+func benchNetworks(reference bool) (benchModeResult, *exp.NetworkResults, error) {
+	if reference {
+		os.Setenv("SEAL_SIM_REF", "1")
+		defer os.Unsetenv("SEAL_SIM_REF")
+	} else {
+		os.Unsetenv("SEAL_SIM_REF")
+	}
+	var nr *exp.NetworkResults
+	var err error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nr, err = exp.RunNetworks(exp.QuickTimingConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		return benchModeResult{}, nil, err
+	}
+	t := nr.Figure7()
+	d, ok1 := t.Cell("Direct", "VGG-16")
+	s, ok2 := t.Cell("SEAL-D", "VGG-16")
+	if !ok1 || !ok2 {
+		return benchModeResult{}, nil, fmt.Errorf("figure 7 table missing Direct/SEAL-D VGG-16 cells")
+	}
+	return benchModeResult{
+		NsPerOp:        br.NsPerOp(),
+		AllocsPerOp:    br.AllocsPerOp(),
+		BytesPerOp:     br.AllocedBytesPerOp(),
+		DirectVGG:      d,
+		SealOverDirect: s / d,
+	}, nr, nil
+}
+
+// runBenchJSON benchmarks the Figure-7 workload under both schedulers,
+// verifies they agree bit-for-bit (and optionally against a golden
+// file), writes the report to out and returns the process exit code:
+// nonzero when the schedulers disagree or the golden check fails.
+func runBenchJSON(out, goldenPath string) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "sealsim: bench-json: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "sealsim: benchmarking Figure-7 workload, fast-forward scheduler...")
+	fast, fastNR, err := benchNetworks(false)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "sealsim: benchmarking Figure-7 workload, per-cycle reference scheduler...")
+	ref, refNR, err := benchNetworks(true)
+	if err != nil {
+		return fail(err)
+	}
+
+	rep := benchReport{
+		Benchmark:    "Fig7_OverallIPC",
+		Scale:        "quick",
+		Fast:         fast,
+		Reference:    ref,
+		Speedup:      float64(ref.NsPerOp) / float64(fast.NsPerOp),
+		MetricsEqual: reflect.DeepEqual(fastNR, refNR),
+	}
+
+	code := 0
+	if !rep.MetricsEqual {
+		fmt.Fprintln(os.Stderr, "sealsim: FAIL: fast-forward and reference schedulers disagree")
+		code = 1
+	}
+	if g, err := os.ReadFile(goldenPath); err == nil {
+		var want golden
+		if err := json.Unmarshal(g, &want); err != nil {
+			return fail(fmt.Errorf("parse %s: %w", goldenPath, err))
+		}
+		match := math.Abs(fast.DirectVGG-want.DirectVGG) <= want.Tolerance &&
+			math.Abs(fast.SealOverDirect-want.SealOverDirect) <= want.Tolerance
+		rep.GoldenFile = goldenPath
+		rep.GoldenMatch = &match
+		if !match {
+			fmt.Fprintf(os.Stderr, "sealsim: FAIL: metrics drifted from %s: directVGG %.17g (want %.17g), sealOverDirect %.17g (want %.17g)\n",
+				goldenPath, fast.DirectVGG, want.DirectVGG, fast.SealOverDirect, want.SealOverDirect)
+			code = 1
+		}
+	} else if goldenPath != "" {
+		fmt.Fprintf(os.Stderr, "sealsim: note: golden file %s not found, skipping golden check\n", goldenPath)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %s: fast %.2fs/op, reference %.2fs/op, speedup %.2fx, metrics_equal=%v\n",
+		out, float64(fast.NsPerOp)/1e9, float64(ref.NsPerOp)/1e9, rep.Speedup, rep.MetricsEqual)
+	return code
+}

@@ -33,8 +33,16 @@ func main() {
 		counter = flag.Int("counterkb", 96, "counter cache size (total KB) for Counter/SEAL-C")
 		csv     = flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
 		bars    = flag.Bool("bars", false, "render ASCII bar charts instead of aligned text")
+
+		benchJSON = flag.Bool("bench-json", false, "benchmark the Figure-7 workload under both schedulers, check bit-identity, write BENCH_PR4.json and exit")
+		benchOut  = flag.String("bench-out", "BENCH_PR4.json", "output path for -bench-json")
+		goldenF   = flag.String("golden", "testdata/fig7_golden.json", "golden metrics file for -bench-json (skipped if absent)")
 	)
 	flag.Parse()
+
+	if *benchJSON {
+		os.Exit(runBenchJSON(*benchOut, *goldenF))
+	}
 
 	cfg := exp.DefaultTimingConfig()
 	if *quick {

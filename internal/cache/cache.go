@@ -60,11 +60,18 @@ func (s Stats) HitRate() float64 {
 // data payloads — the simulator moves data separately).
 type Cache struct {
 	cfg       Config
-	sets      [][]way
+	ways      []way // nsets*Ways entries, set-major — one flat block, no per-set pointer chase
 	clock     uint64
 	lineShift uint
 	nsets     uint64
-	stats     Stats
+	// setShift/setMask index sets by shift-and-mask when the set count is
+	// a power of two (every standard configuration); division otherwise
+	// (the paper's counter-cache sweep allows arbitrary sizes).
+	setShift uint
+	setMask  uint64
+	setsPow2 bool
+	nways    uint64
+	stats    Stats
 }
 
 // New constructs a cache; it panics on an invalid configuration since
@@ -74,14 +81,23 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nsets := cfg.Sets()
-	c := &Cache{cfg: cfg, sets: make([][]way, nsets), nsets: uint64(nsets)}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Ways)
+	c := &Cache{
+		cfg:   cfg,
+		ways:  make([]way, nsets*cfg.Ways),
+		nsets: uint64(nsets),
+		nways: uint64(cfg.Ways),
 	}
 	for shift := uint(0); ; shift++ {
 		if 1<<shift == cfg.LineBytes {
 			c.lineShift = shift
 			break
+		}
+	}
+	if n := uint64(nsets); n&(n-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = n - 1
+		for 1<<c.setShift != n {
+			c.setShift++
 		}
 	}
 	return c
@@ -102,6 +118,9 @@ type Result struct {
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	line := addr >> c.lineShift
+	if c.setsPow2 {
+		return line & c.setMask, line >> c.setShift
+	}
 	return line % c.nsets, line / c.nsets
 }
 
@@ -110,7 +129,7 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 func (c *Cache) Access(addr uint64, write bool) Result {
 	c.clock++
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.ways[set*c.nways : set*c.nways+c.nways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lastUse = c.clock
@@ -150,7 +169,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 // statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.sets[set] {
+	for _, w := range c.ways[set*c.nways : set*c.nways+c.nways] {
 		if w.valid && w.tag == tag {
 			return true
 		}
@@ -161,7 +180,7 @@ func (c *Cache) Probe(addr uint64) bool {
 // Invalidate drops addr if resident, returning whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.ways[set*c.nways : set*c.nways+c.nways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			dirty := ways[i].dirty
@@ -177,10 +196,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = way{}
-		}
+	for i := range c.ways {
+		c.ways[i] = way{}
 	}
 	c.clock = 0
 	c.stats = Stats{}

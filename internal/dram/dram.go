@@ -11,7 +11,9 @@ package dram
 
 import (
 	"fmt"
+	"math"
 )
+
 
 // Config describes one memory channel.
 type Config struct {
@@ -53,6 +55,12 @@ type Request struct {
 	Arrival float64
 	Done    float64 // completion time, set by the channel
 	Tag     any     // opaque caller payload carried through the queue
+
+	// bank and row are decoded from Addr once at Enqueue so the FR-FCFS
+	// scan, which touches every queued request on every scheduling pass,
+	// never divides.
+	bank int32
+	row  uint64
 }
 
 type bank struct {
@@ -92,6 +100,19 @@ type Channel struct {
 	busFree  float64
 	stats    Stats
 	doneBuf  []*Request // Tick's return slice, reused across cycles
+	// nextEv lower-bounds the next time a Tick call can change channel
+	// state (see NextEvent). Maintained incrementally: Enqueue folds in
+	// the new request's eligibility estimate, Tick recomputes it from the
+	// scheduling scan it performs anyway.
+	nextEv float64
+	// Decode constants for bankAndRow. RowBytes is a validated power of
+	// two, so the row index is always a shift; bank decode uses the
+	// mask/shift pair when Banks is a power of two (the GDDR5 case) and
+	// falls back to division otherwise.
+	rowShift  uint
+	bankShift uint
+	bankMask  uint64
+	bankPow2  bool
 }
 
 // NewChannel constructs a channel; it panics on invalid configuration.
@@ -99,7 +120,18 @@ func NewChannel(cfg Config) *Channel {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Channel{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	ch := &Channel{cfg: cfg, banks: make([]bank, cfg.Banks), nextEv: math.Inf(1)}
+	for 1<<ch.rowShift != cfg.RowBytes {
+		ch.rowShift++
+	}
+	if b := uint64(cfg.Banks); b&(b-1) == 0 {
+		ch.bankPow2 = true
+		ch.bankMask = b - 1
+		for 1<<ch.bankShift != cfg.Banks {
+			ch.bankShift++
+		}
+	}
+	return ch
 }
 
 // Config returns the channel configuration.
@@ -125,16 +157,31 @@ func (ch *Channel) Enqueue(r *Request) bool {
 	if !ch.CanEnqueue(r.Write) {
 		return false
 	}
+	b, row := ch.bankAndRow(r.Addr)
+	r.bank, r.row = int32(b), row
 	if r.Write {
 		ch.writeQ = append(ch.writeQ, r)
 	} else {
 		ch.readQ = append(ch.readQ, r)
 	}
+	// The eligibility estimate uses the bank's current readyAt, which can
+	// only grow before this request is scanned again — so the bound may
+	// be early (costing a no-op Tick that re-tightens it) but never late.
+	t := r.Arrival
+	if ready := ch.banks[r.bank].readyAt; ready > t {
+		t = ready
+	}
+	if t < ch.nextEv {
+		ch.nextEv = t
+	}
 	return true
 }
 
 func (ch *Channel) bankAndRow(addr uint64) (int, uint64) {
-	row := addr / uint64(ch.cfg.RowBytes)
+	row := addr >> ch.rowShift
+	if ch.bankPow2 {
+		return int(row & ch.bankMask), row >> ch.bankShift
+	}
 	return int(row % uint64(ch.cfg.Banks)), row / uint64(ch.cfg.Banks)
 }
 
@@ -142,28 +189,20 @@ func (ch *Channel) bankAndRow(addr uint64) (int, uint64) {
 // (returned to the caller) and issues at most one queued request. The
 // returned slice is valid until the next Tick call.
 func (ch *Channel) Tick(now float64) []*Request {
+	// Completions must come back in time order. The shared bus serializes
+	// Done times in issue order (each Done starts at or after the previous
+	// busFree), so inflight is sorted and the retired requests are exactly
+	// its leading run — no filtering or sorting pass needed.
 	done := ch.doneBuf[:0]
-	keep := ch.inflight[:0]
-	for _, r := range ch.inflight {
-		if r.Done <= now {
-			done = append(done, r)
-		} else {
-			keep = append(keep, r)
-		}
+	if cut := ch.retireCut(now); cut > 0 {
+		done = append(done, ch.inflight[:cut]...)
+		n := copy(ch.inflight, ch.inflight[cut:])
+		ch.inflight = ch.inflight[:n]
 	}
-	ch.inflight = keep
 	ch.doneBuf = done
-	// Completions must come back in time order. The shared bus already
-	// serializes Done times in issue order, so inflight is sorted and
-	// this insertion pass is a straight scan; it guards the invariant
-	// without sort.Slice's per-call closure allocation.
-	for i := 1; i < len(done); i++ {
-		for j := i; j > 0 && done[j].Done < done[j-1].Done; j-- {
-			done[j], done[j-1] = done[j-1], done[j]
-		}
-	}
 
 	if len(ch.readQ) == 0 && len(ch.writeQ) == 0 {
+		ch.nextEv = ch.headDone()
 		return done
 	}
 	// FR-FCFS over ready banks with read priority: demand reads block
@@ -180,46 +219,121 @@ func (ch *Channel) Tick(now float64) []*Request {
 	if writeDrain {
 		first, second = &ch.writeQ, &ch.readQ
 	}
-	q, pick := first, pickEligible(ch, *first, now)
+	q := first
+	pick, elig := pickEligible(ch, *first, now)
 	if pick < 0 {
-		q, pick = second, pickEligible(ch, *second, now)
+		q = second
+		var elig2 float64
+		pick, elig2 = pickEligible(ch, *second, now)
+		if elig2 < elig {
+			elig = elig2
+		}
 	}
 	if pick < 0 {
+		// Nothing issueable: both scans saw every queued request, so elig
+		// is the exact earliest future eligibility.
+		if hd := ch.headDone(); hd < elig {
+			elig = hd
+		}
+		ch.nextEv = elig
 		return done
 	}
 	r := (*q)[pick]
 	*q = append((*q)[:pick], (*q)[pick+1:]...)
 	ch.issue(r, now)
+	// After an issue the bank states just changed, so recompute the next
+	// issue opportunity from scratch: the earliest eligibility across both
+	// class queues (clamped to the next cycle — Tick issues one request
+	// per call) or, failing that, the first in-flight completion, which is
+	// finite here since the issue just went in flight.
+	ev := ch.minElig(ch.readQ, now)
+	if ev > now+1 {
+		if e := ch.minElig(ch.writeQ, now); e < ev {
+			ev = e
+		}
+	}
+	if hd := ch.headDone(); hd < ev {
+		ev = hd
+	}
+	ch.nextEv = ev
 	return done
+}
+
+// retireCut returns the length of inflight's leading run of requests
+// finished at time now.
+func (ch *Channel) retireCut(now float64) int {
+	cut := 0
+	for cut < len(ch.inflight) && ch.inflight[cut].Done <= now {
+		cut++
+	}
+	return cut
+}
+
+// minElig returns the earliest future time a request in q becomes
+// issueable under the current bank states, clamped to now+1 (a request
+// already eligible can only be served by the next Tick call); +Inf for
+// an empty queue.
+func (ch *Channel) minElig(q []*Request, now float64) float64 {
+	min := math.Inf(1)
+	for _, r := range q {
+		t := r.Arrival
+		if ready := ch.banks[r.bank].readyAt; ready > t {
+			t = ready
+		}
+		if t <= now {
+			return now + 1
+		}
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// headDone returns the earliest in-flight completion time, or +Inf. The
+// shared bus serializes Done times in issue order, so inflight is sorted
+// and its head is the minimum.
+func (ch *Channel) headDone() float64 {
+	if len(ch.inflight) > 0 {
+		return ch.inflight[0].Done
+	}
+	return math.Inf(1)
 }
 
 // pickEligible returns the index to issue within one class queue,
 // preferring the oldest open-row hit on a ready bank, then the oldest
-// request on a ready bank; -1 if none is issueable now.
-func pickEligible(ch *Channel, q []*Request, now float64) int {
+// request on a ready bank; -1 if none is issueable now. The second
+// return is the earliest future eligibility among the requests scanned —
+// exact when the scan completed with no pick, unused otherwise (an early
+// row-hit return leaves it partial).
+func pickEligible(ch *Channel, q []*Request, now float64) (int, float64) {
 	fallback := -1
+	elig := math.Inf(1)
 	for i, r := range q {
-		if r.Arrival > now {
+		bk := &ch.banks[r.bank]
+		t := r.Arrival
+		if bk.readyAt > t {
+			t = bk.readyAt
+		}
+		if t > now {
+			if t < elig {
+				elig = t
+			}
 			continue
 		}
-		b, row := ch.bankAndRow(r.Addr)
-		bk := &ch.banks[b]
-		if bk.readyAt > now {
-			continue
-		}
-		if bk.rowOpen && bk.openRow == row {
-			return i
+		if bk.rowOpen && bk.openRow == r.row {
+			return i, elig
 		}
 		if fallback < 0 {
 			fallback = i
 		}
 	}
-	return fallback
+	return fallback, elig
 }
 
 func (ch *Channel) issue(r *Request, now float64) {
-	b, row := ch.bankAndRow(r.Addr)
-	bk := &ch.banks[b]
+	row := r.row
+	bk := &ch.banks[r.bank]
 	start := now
 	if bk.readyAt > start {
 		start = bk.readyAt
@@ -262,6 +376,17 @@ func (ch *Channel) issue(r *Request, now float64) {
 	ch.stats.Bytes += uint64(ch.cfg.LineBytes)
 }
 
+// NextEvent lower-bounds the next time a Tick call can change channel
+// state: the first in-flight completion, or the first instant a queued
+// request becomes issueable (its arrival passed and its bank ready).
+// Tick calls strictly before the returned time are guaranteed no-ops,
+// which is what lets the simulator fast-forward over DRAM dead time.
+// Returns +Inf when the channel is empty. The bound may lie in the past
+// or be conservatively early (Tick issues one request per call and
+// Enqueue estimates with the bank's current readyAt); a Tick at a
+// too-early bound is a harmless no-op that re-tightens it.
+func (ch *Channel) NextEvent() float64 { return ch.nextEv }
+
 // Drain advances time until everything queued and in flight finishes,
 // returning the completion time of the last request.
 func (ch *Channel) Drain(now float64) float64 {
@@ -280,6 +405,22 @@ func (ch *Channel) Drain(now float64) float64 {
 
 // Stats returns accumulated counters.
 func (ch *Channel) Stats() Stats { return ch.stats }
+
+// Reset restores the channel to its just-constructed state — empty
+// queues, closed rows, idle bus, zero statistics — while keeping the
+// backing allocations for reuse.
+func (ch *Channel) Reset() {
+	ch.readQ = ch.readQ[:0]
+	ch.writeQ = ch.writeQ[:0]
+	ch.inflight = ch.inflight[:0]
+	for i := range ch.banks {
+		ch.banks[i] = bank{}
+	}
+	ch.busFree = 0
+	ch.stats = Stats{}
+	ch.doneBuf = ch.doneBuf[:0]
+	ch.nextEv = math.Inf(1)
+}
 
 // Busy reports whether the channel still has pending work.
 func (ch *Channel) Busy() bool { return ch.QueueLen() > 0 || len(ch.inflight) > 0 }

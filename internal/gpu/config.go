@@ -81,6 +81,13 @@ type Config struct {
 	Integrity bool
 	MAC       engine.CounterConfig // MAC bookkeeping (per partition)
 	MACVerify float64              // verification latency, core cycles
+
+	// Reference selects the per-cycle reference scheduler instead of the
+	// default event-driven fast-forward. Both produce bit-identical
+	// Results; the reference path exists as the semantic ground truth for
+	// equivalence tests and debugging. The SEAL_SIM_REF=1 environment
+	// variable forces it process-wide at Sim construction time.
+	Reference bool
 }
 
 // ConfigGTX480 returns the paper's simulated GPU: NVIDIA GeForce GTX480,

@@ -76,9 +76,16 @@ type partition struct {
 	ch  *dram.Channel
 
 	arrivals  []arrival       // FIFO of incoming SM requests (monotone .at)
+	arrHead   int             // consumed-prefix length of arrivals
 	overflowR []*dram.Request // reads waiting for DRAM read-queue space
 	overflowW []*dram.Request // writes waiting for DRAM write-queue space
 	responses []response      // completed requests to route back
+	// pendCyc stages requests issued during a frame of the event-driven
+	// scheduler, one bucket per frame cycle. SMs run in id order within
+	// the frame, so each bucket accumulates in SM order by itself and
+	// mergePending is a straight concatenation — the (cycle, SM) order
+	// the per-cycle loop would have produced, with no comparisons.
+	pendCyc   [][]arrival
 	reqID     uint64
 	freeNodes []*reqNode // retired request+tag pairs awaiting reuse
 	freeRecs  []*memReq  // answered SM requests awaiting reuse
@@ -91,11 +98,12 @@ type partition struct {
 
 func newPartition(id int, cfg *Config) *partition {
 	p := &partition{
-		id:  id,
-		cfg: cfg,
-		l2:  cache.New(cfg.L2Slice),
-		eng: engine.New(cfg.EngineSpec, cfg.CoreClockHz),
-		ch:  dram.NewChannel(cfg.DRAM),
+		id:      id,
+		cfg:     cfg,
+		l2:      cache.New(cfg.L2Slice),
+		eng:     engine.New(cfg.EngineSpec, cfg.CoreClockHz),
+		ch:      dram.NewChannel(cfg.DRAM),
+		pendCyc: make([][]arrival, frameLen(cfg.InterconnectLat)),
 	}
 	if cfg.Mode == ModeCounter {
 		p.cc = engine.NewCounterCache(cfg.Counter)
@@ -370,21 +378,90 @@ func (p *partition) tick(now float64) {
 		p.freeNodes = append(p.freeNodes, nd)
 	}
 	// process arrivals due this cycle
-	n := 0
-	for _, a := range p.arrivals {
-		if a.at <= now {
-			p.handleArrival(a.rec, now)
-			n++
-		} else {
+	for _, a := range p.arrivals[p.arrHead:] {
+		if a.at > now {
 			break
 		}
+		p.handleArrival(a.rec, now)
+		p.arrHead++
 	}
-	p.arrivals = p.arrivals[n:]
+	if p.arrHead == len(p.arrivals) {
+		p.arrivals = p.arrivals[:0]
+		p.arrHead = 0
+	}
+}
+
+// mergePending drains the per-cycle staged buckets into the arrival
+// FIFO. Bucket order is frame-cycle order and each bucket is already in
+// SM order, so concatenation reproduces exactly the (cycle, SM) arrival
+// sequence the per-cycle reference loop appends.
+func (p *partition) mergePending() {
+	if p.arrHead >= 256 {
+		// Reclaim the consumed prefix once it dwarfs the live window so
+		// the FIFO's backing array stops growing with total traffic.
+		n := copy(p.arrivals, p.arrivals[p.arrHead:])
+		p.arrivals = p.arrivals[:n]
+		p.arrHead = 0
+	}
+	for i, b := range p.pendCyc {
+		if len(b) > 0 {
+			p.arrivals = append(p.arrivals, b...)
+			p.pendCyc[i] = b[:0]
+		}
+	}
+}
+
+// nextEvent returns the earliest time a tick call can change partition
+// state: the next SM-request arrival, the next DRAM completion or
+// issue opportunity, or — when an overflowed submission is waiting and
+// its class queue has room — the immediately following cycle (tick
+// flushes overflow before anything else, so space found now is consumed
+// at the next tick). Ticks at cycles strictly before the returned time
+// are no-ops. Returns now for "next cycle", +Inf for idle.
+func (p *partition) nextEvent(now float64) float64 {
+	if (len(p.overflowR) > 0 && p.ch.CanEnqueue(false)) ||
+		(len(p.overflowW) > 0 && p.ch.CanEnqueue(true)) {
+		return now
+	}
+	ev := p.ch.NextEvent()
+	// arrivals is a FIFO with monotone .at (accept stamps each request
+	// with the current cycle plus the fixed interconnect latency), so the
+	// head is the earliest.
+	if p.arrHead < len(p.arrivals) && p.arrivals[p.arrHead].at < ev {
+		ev = p.arrivals[p.arrHead].at
+	}
+	return ev
+}
+
+// reset restores the partition to its just-constructed state while
+// keeping every allocation — cache arrays, channel queues, the memReq
+// and reqNode free pools — for reuse by the next run.
+func (p *partition) reset() {
+	p.l2.Reset()
+	p.eng.Reset()
+	if p.cc != nil {
+		p.cc.Reset()
+	}
+	if p.mac != nil {
+		p.mac.Reset()
+	}
+	p.ch.Reset()
+	p.arrivals = p.arrivals[:0]
+	p.arrHead = 0
+	p.overflowR = p.overflowR[:0]
+	p.overflowW = p.overflowW[:0]
+	p.responses = p.responses[:0]
+	for i := range p.pendCyc {
+		p.pendCyc[i] = p.pendCyc[i][:0]
+	}
+	p.reqID = 0
+	p.extraReads, p.extraWrites = 0, 0
+	p.macReads, p.macWrites = 0, 0
 }
 
 // busy reports whether the partition still has pending work.
 func (p *partition) busy() bool {
-	return len(p.arrivals) > 0 || len(p.overflowR) > 0 || len(p.overflowW) > 0 || len(p.responses) > 0 || p.ch.Busy()
+	return p.arrHead < len(p.arrivals) || len(p.overflowR) > 0 || len(p.overflowW) > 0 || len(p.responses) > 0 || p.ch.Busy()
 }
 
 // PartStats aggregates one partition's counters.

@@ -1,0 +1,74 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// resetStreams is a mixed workload big enough to grow every internal
+// buffer: arrivals, DRAM queues, response rings, staging buckets and
+// the request/node free pools.
+func resetStreams(cfg Config) []Stream {
+	streams := make([]Stream, cfg.NumSMs)
+	for i := range streams {
+		st := readStream(200, uint64(i)<<20, 2)
+		st = append(st, writeStream(100, uint64(i)<<21)...)
+		st = append(st, computeStream(50)...)
+		streams[i] = st
+	}
+	return streams
+}
+
+// TestResetEquivalentToFreshSim checks that Reset restores exact
+// cold-start semantics: a warmed-then-Reset simulator must produce the
+// same Result and clock as a freshly constructed one, in both the
+// fast-forward and reference schedulers.
+func TestResetEquivalentToFreshSim(t *testing.T) {
+	for _, ref := range []bool{false, true} {
+		cfg := smallCfg().WithMode(ModeCounter, nil)
+		cfg.Reference = ref
+		streams := resetStreams(cfg)
+
+		fresh := mustSim(t, cfg)
+		want := mustRun(t, fresh, streams)
+
+		warmed := mustSim(t, cfg)
+		mustRun(t, warmed, streams)
+		mustRun(t, warmed, streams)
+		warmed.Reset()
+		got := mustRun(t, warmed, streams)
+
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ref=%v: post-Reset run diverged from fresh sim:\ngot:  %+v\nwant: %+v", ref, got, want)
+		}
+		fresh.Reset()
+		if again := mustRun(t, fresh, streams); !reflect.DeepEqual(again, want) {
+			t.Errorf("ref=%v: second post-Reset run diverged: %+v", ref, again)
+		}
+	}
+}
+
+// TestResetReusesAllocations pins the perf contract of Reset: it keeps
+// the partition-internal buffers, so a warmed simulator runs the same
+// workload again without growing the heap. The bound is deliberately
+// loose (a handful of allocations per Run would still pass) — the
+// regression it guards against is Reset discarding whole partitions,
+// which costs thousands.
+func TestResetReusesAllocations(t *testing.T) {
+	cfg := smallCfg().WithMode(ModeCounter, nil)
+	streams := resetStreams(cfg)
+	s := mustSim(t, cfg)
+	for i := 0; i < 3; i++ { // warm every pool past its high-water mark
+		mustRun(t, s, streams)
+		s.Reset()
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := s.Run(streams); err != nil {
+			t.Fatal(err)
+		}
+		s.Reset()
+	})
+	if avg > 16 {
+		t.Errorf("steady-state Run+Reset allocates %.0f objects; want ≤16 (buffers should be reused)", avg)
+	}
+}

@@ -11,10 +11,69 @@ package seal
 import (
 	"testing"
 
+	"seal/internal/dataset"
 	"seal/internal/exp"
+	"seal/internal/models"
+	"seal/internal/nn"
+	"seal/internal/prng"
+	"seal/internal/tensor"
 )
 
 var benchTable *exp.Table // sink
+
+// BenchmarkTrainStep measures one full training step — train-mode
+// forward, softmax cross-entropy, backward, SGD update — on the
+// small-width VGG-16 the security experiments train (scale 0.0625,
+// batch 16). This is the inner loop of every victim and substitute
+// training run behind Figures 3-4.
+func BenchmarkTrainStep(b *testing.B) {
+	rng := prng.New(7)
+	arch := models.VGG16Arch().Scale(0.0625, 0)
+	m, err := models.Build(arch, rng.Fork())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := dataset.NewGenerator(dataset.DefaultConfig(), 7)
+	ds := gen.Sample(16)
+	x, labels := ds.Batch(0, 16)
+	params := m.Params()
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	var ce nn.SoftmaxCE
+	step := func() {
+		out := m.Forward(x, true)
+		_, grad := ce.Loss(out, labels)
+		m.Backward(grad)
+		opt.Step(params)
+	}
+	step() // warm-up: builds the layer workspaces and optimizer state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkLinearBackward measures the fully-connected backward pass
+// (dW = gradᵀ×x, dx = grad×W) at the widths of the scaled VGG
+// classifier head.
+func BenchmarkLinearBackward(b *testing.B) {
+	rng := prng.New(11)
+	lin := nn.NewLinear("fc", rng, 512, 256)
+	x := tensor.New(64, 512)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	grad := tensor.New(64, 256)
+	for i := range grad.Data {
+		grad.Data[i] = float32(rng.NormFloat64())
+	}
+	lin.Forward(x, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin.Backward(grad)
+	}
+}
 
 // BenchmarkTableI_EngineThroughput regenerates Table I: the published
 // AES engine design points and the simulated sustained throughput of

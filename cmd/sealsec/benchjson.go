@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"seal/internal/dataset"
+	"seal/internal/exp"
+	"seal/internal/models"
+	"seal/internal/nn"
+	"seal/internal/prng"
+)
+
+// trainStepResult is the timing of one full training step (train-mode
+// forward, softmax cross-entropy, backward, SGD update) on the
+// small-width VGG-16 at batch 16 — the same workload as the repo-level
+// BenchmarkTrainStep.
+type trainStepResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// fig3CellResult is one reduced Figure-3 cell: the quick-scale
+// substitute-model study on one architecture at one encryption ratio.
+// All accuracy fields are bit-exact reproductions of the experiment
+// outputs, checked against testdata/fig3_golden.json.
+type fig3CellResult struct {
+	Arch       string  `json:"arch"`
+	Ratio      float64 `json:"ratio"`
+	Seconds    float64 `json:"seconds"`
+	VictimAcc  float64 `json:"victimAcc"`
+	WhiteAcc   float64 `json:"whiteAcc"`
+	BlackAcc   float64 `json:"blackAcc"`
+	SEALAcc    float64 `json:"sealAcc"`
+	WhiteTrans float64 `json:"whiteTrans"`
+	BlackTrans float64 `json:"blackTrans"`
+	SEALTrans  float64 `json:"sealTrans"`
+	LeakedFrac float64 `json:"leakedFrac"`
+}
+
+// benchReport is the schema of BENCH_PR5.json.
+type benchReport struct {
+	Benchmark   string          `json:"benchmark"`
+	Scale       string          `json:"scale"`
+	TrainStep   trainStepResult `json:"train_step"`
+	Fig3Cell    fig3CellResult  `json:"fig3_cell"`
+	GoldenFile  string          `json:"golden_file,omitempty"`
+	GoldenMatch *bool           `json:"golden_match,omitempty"`
+}
+
+// fig3Golden is the schema of testdata/fig3_golden.json. Tolerance 0
+// means exact float64 equality — the training path promises bit-identical
+// trajectories, so the experiment outputs must not move at all.
+type fig3Golden struct {
+	Arch       string  `json:"arch"`
+	Ratio      float64 `json:"ratio"`
+	VictimAcc  float64 `json:"victimAcc"`
+	WhiteAcc   float64 `json:"whiteAcc"`
+	BlackAcc   float64 `json:"blackAcc"`
+	SEALAcc    float64 `json:"sealAcc"`
+	WhiteTrans float64 `json:"whiteTrans"`
+	BlackTrans float64 `json:"blackTrans"`
+	SEALTrans  float64 `json:"sealTrans"`
+	LeakedFrac float64 `json:"leakedFrac"`
+	Tolerance  float64 `json:"tolerance"`
+}
+
+// fig3CellConfig is the reduced Figure-3 cell the bench run reproduces:
+// the quick security configuration narrowed to one architecture and one
+// encryption ratio.
+func fig3CellConfig() exp.SecurityConfig {
+	cfg := exp.QuickSecurityConfig()
+	cfg.Arches = []string{"resnet18"}
+	cfg.Ratios = []float64{0.5}
+	cfg.Progress = nil
+	return cfg
+}
+
+// benchTrainStep measures the train-step workload under
+// testing.Benchmark.
+func benchTrainStep() (trainStepResult, error) {
+	rng := prng.New(7)
+	arch := models.VGG16Arch().Scale(0.0625, 0)
+	m, err := models.Build(arch, rng.Fork())
+	if err != nil {
+		return trainStepResult{}, err
+	}
+	gen := dataset.NewGenerator(dataset.DefaultConfig(), 7)
+	ds := gen.Sample(16)
+	x, labels := ds.Batch(0, 16)
+	params := m.Params()
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	var ce nn.SoftmaxCE
+	step := func() {
+		out := m.Forward(x, true)
+		_, grad := ce.Loss(out, labels)
+		m.Backward(grad)
+		opt.Step(params)
+	}
+	step() // warm-up: builds the layer workspaces and optimizer state
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+	return trainStepResult{
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}, nil
+}
+
+// runFig3Cell executes the reduced cell and extracts the golden-checked
+// metrics.
+func runFig3Cell() (fig3CellResult, error) {
+	cfg := fig3CellConfig()
+	start := time.Now()
+	res, err := exp.RunSecurity(cfg)
+	if err != nil {
+		return fig3CellResult{}, err
+	}
+	m := res.Models[0]
+	ratio := cfg.Ratios[0]
+	return fig3CellResult{
+		Arch:       cfg.Arches[0],
+		Ratio:      ratio,
+		Seconds:    time.Since(start).Seconds(),
+		VictimAcc:  m.VictimAcc,
+		WhiteAcc:   m.WhiteAcc,
+		BlackAcc:   m.BlackAcc,
+		SEALAcc:    m.SEALAcc[ratio],
+		WhiteTrans: m.WhiteTrans,
+		BlackTrans: m.BlackTrans,
+		SEALTrans:  m.SEALTrans[ratio],
+		LeakedFrac: m.LeakedFrac[ratio],
+	}, nil
+}
+
+// checkGolden compares the cell metrics against the golden file. A nil
+// return with ok=false means the file was absent (check skipped).
+func checkGolden(cell fig3CellResult, path string) (match bool, found bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, false, nil
+	}
+	var want fig3Golden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return false, true, fmt.Errorf("parse %s: %w", path, err)
+	}
+	tol := want.Tolerance
+	close := func(got, wantV float64) bool { return math.Abs(got-wantV) <= tol }
+	match = want.Arch == cell.Arch && want.Ratio == cell.Ratio &&
+		close(cell.VictimAcc, want.VictimAcc) &&
+		close(cell.WhiteAcc, want.WhiteAcc) &&
+		close(cell.BlackAcc, want.BlackAcc) &&
+		close(cell.SEALAcc, want.SEALAcc) &&
+		close(cell.WhiteTrans, want.WhiteTrans) &&
+		close(cell.BlackTrans, want.BlackTrans) &&
+		close(cell.SEALTrans, want.SEALTrans) &&
+		close(cell.LeakedFrac, want.LeakedFrac)
+	return match, true, nil
+}
+
+// runBenchJSON times the train-step benchmark and the reduced Figure-3
+// cell, spot-checks the substitute accuracies against the golden file,
+// writes the report, and returns the process exit code (nonzero on any
+// mismatch).
+func runBenchJSON(out, goldenPath string, updateGolden bool) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "sealsec: bench-json: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "sealsec: benchmarking train step (small-width VGG-16, batch 16)...")
+	ts, err := benchTrainStep()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "sealsec: running reduced Figure-3 cell (quick resnet18 @ ratio 0.5)...")
+	cell, err := runFig3Cell()
+	if err != nil {
+		return fail(err)
+	}
+
+	if updateGolden {
+		g := fig3Golden{
+			Arch: cell.Arch, Ratio: cell.Ratio,
+			VictimAcc: cell.VictimAcc, WhiteAcc: cell.WhiteAcc, BlackAcc: cell.BlackAcc,
+			SEALAcc: cell.SEALAcc, WhiteTrans: cell.WhiteTrans, BlackTrans: cell.BlackTrans,
+			SEALTrans: cell.SEALTrans, LeakedFrac: cell.LeakedFrac,
+			Tolerance: 0,
+		}
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n", goldenPath)
+	}
+
+	rep := benchReport{
+		Benchmark: "TrainStep+Fig3Cell",
+		Scale:     "quick",
+		TrainStep: ts,
+		Fig3Cell:  cell,
+	}
+	code := 0
+	match, found, err := checkGolden(cell, goldenPath)
+	if err != nil {
+		return fail(err)
+	}
+	if found {
+		rep.GoldenFile = goldenPath
+		rep.GoldenMatch = &match
+		if !match {
+			fmt.Fprintf(os.Stderr, "sealsec: FAIL: Figure-3 cell drifted from %s: %+v\n", goldenPath, cell)
+			code = 1
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "sealsec: note: golden file %s not found, skipping golden check\n", goldenPath)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %s: train step %.1fms/op (%d allocs/op), fig3 cell %.0fs, golden_match=%v\n",
+		out, float64(ts.NsPerOp)/1e6, ts.AllocsPerOp, cell.Seconds, rep.GoldenMatch != nil && *rep.GoldenMatch)
+	return code
+}

@@ -28,8 +28,17 @@ func main() {
 		ratios  = flag.String("ratios", "", "comma-separated encryption ratios (e.g. 0.9,0.5,0.1)")
 		seed    = flag.Uint64("seed", 7, "experiment seed")
 		premise = flag.Bool("premise", false, "also run the pruning-premise validation")
+
+		benchJSON    = flag.Bool("bench-json", false, "run the train-step benchmark + reduced Fig 3 cell, write a JSON report, exit nonzero on golden mismatch")
+		benchOut     = flag.String("bench-out", "BENCH_PR5.json", "bench-json report path")
+		goldenF      = flag.String("golden", "testdata/fig3_golden.json", "bench-json golden file")
+		updateGolden = flag.Bool("update-golden", false, "with -bench-json: rewrite the golden file from this run")
 	)
 	flag.Parse()
+
+	if *benchJSON {
+		os.Exit(runBenchJSON(*benchOut, *goldenF, *updateGolden))
+	}
 
 	cfg := exp.DefaultSecurityConfig()
 	if *quick {

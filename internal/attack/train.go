@@ -57,6 +57,11 @@ func Train(m *models.Model, ds *dataset.Dataset, cfg TrainConfig, rng *prng.Sour
 	if bs > n {
 		bs = n
 	}
+	// Hoisted out of the batch loop: the parameter list walk allocates,
+	// and the loss workspace keeps the step loop free of loss-side
+	// allocations.
+	params := m.Params()
+	var ce nn.SoftmaxCE
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for _, at := range cfg.LRDecayAt {
@@ -70,12 +75,12 @@ func Train(m *models.Model, ds *dataset.Dataset, cfg TrainConfig, rng *prng.Sour
 		for lo := 0; lo+bs <= n; lo += bs {
 			x, labels := ds.Batch(lo, lo+bs)
 			out := m.Forward(x, true)
-			loss, grad := nn.SoftmaxCrossEntropy(out, labels)
+			loss, grad := ce.Loss(out, labels)
 			m.Backward(grad)
 			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(m.Params(), cfg.ClipNorm)
+				nn.ClipGradNorm(params, cfg.ClipNorm)
 			}
-			opt.Step(m.Params())
+			opt.Step(params)
 			epochLoss += loss
 			batches++
 		}

@@ -4,8 +4,11 @@ import "seal/internal/tensor"
 
 // ReLU is the rectified-linear activation, applied element-wise.
 type ReLU struct {
-	Name string
-	mask []bool // true where input was positive
+	Name    string
+	mask    []bool // true where input was positive; nil after eval Forward
+	maskBuf []bool
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 // NewReLU constructs a ReLU activation.
@@ -17,19 +20,33 @@ func (r *ReLU) LayerName() string { return r.Name }
 // Params implements Module.
 func (r *ReLU) Params() []*Param { return nil }
 
-// Forward implements Module.
+// Forward implements Module. The output (and the backprop mask) are
+// reusable workspaces: every element is written unconditionally, so a
+// warm call allocates nothing and matches a fresh buffer bit-for-bit.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
+	out := ensureShaped(r.out, x.Shape)
+	r.out = out
 	if train {
-		r.mask = make([]bool, x.Size())
+		if cap(r.maskBuf) < x.Size() {
+			r.maskBuf = make([]bool, x.Size())
+		}
+		r.mask = r.maskBuf[:x.Size()]
+		for i, v := range x.Data {
+			pos := v > 0
+			r.mask[i] = pos
+			if pos {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
 	} else {
 		r.mask = nil
-	}
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			if r.mask != nil {
-				r.mask[i] = true
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
 			}
 		}
 	}
@@ -41,10 +58,13 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {
 		panic("nn: ReLU.Backward called without a train-mode Forward")
 	}
-	dx := tensor.New(grad.Shape...)
+	dx := ensureShaped(r.dx, grad.Shape)
+	r.dx = dx
 	for i, g := range grad.Data {
 		if r.mask[i] {
 			dx.Data[i] = g
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx

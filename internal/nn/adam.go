@@ -16,9 +16,10 @@ type Adam struct {
 	Eps         float32
 	WeightDecay float32
 
-	step int
-	m    map[*Param]*tensor.Tensor
-	v    map[*Param]*tensor.Tensor
+	step   int
+	c1, c2 float64 // bias corrections for the current step
+	m      map[*Param]*tensor.Tensor
+	v      map[*Param]*tensor.Tensor
 }
 
 // NewAdam constructs an Adam optimizer with the conventional defaults
@@ -32,30 +33,46 @@ func NewAdam(lr float32) *Adam {
 }
 
 // Step applies one update to every parameter and clears the gradients.
+// Like SGD.Step, the per-element mask branch is hoisted via the shared
+// nextRun scanner and the independent per-parameter updates fan out
+// across the worker pool.
 func (o *Adam) Step(params []*Param) {
 	o.step++
-	c1 := 1 - float64(math.Pow(float64(o.Beta1), float64(o.step)))
-	c2 := 1 - float64(math.Pow(float64(o.Beta2), float64(o.step)))
+	o.c1 = 1 - float64(math.Pow(float64(o.Beta1), float64(o.step)))
+	o.c2 = 1 - float64(math.Pow(float64(o.Beta2), float64(o.step)))
+	// Lazy moment creation is a map write, so it must happen serially
+	// before the parameters fan out.
 	for _, p := range params {
-		m := o.m[p]
-		v := o.v[p]
-		if m == nil {
-			m = tensor.New(p.W.Shape...)
-			v = tensor.New(p.W.Shape...)
-			o.m[p] = m
-			o.v[p] = v
+		if o.m[p] == nil {
+			o.m[p] = tensor.New(p.W.Shape...)
+			o.v[p] = tensor.New(p.W.Shape...)
 		}
-		for i := range p.W.Data {
-			if p.Mask != nil && p.Mask.Data[i] == 0 {
-				continue
-			}
-			g := p.Grad.Data[i] + o.WeightDecay*p.W.Data[i]
-			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
-			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
-			mh := float64(m.Data[i]) / c1
-			vh := float64(v.Data[i]) / c2
-			p.W.Data[i] -= o.LR * float32(mh/(math.Sqrt(vh)+float64(o.Eps)))
-		}
-		p.ZeroGrad()
+	}
+	stepParams(o, params)
+}
+
+// stepOne implements stepper.
+func (o *Adam) stepOne(p *Param) {
+	m, v := o.m[p].Data, o.v[p].Data
+	if p.Mask == nil {
+		o.adamRange(p.W.Data, p.Grad.Data, m, v, 0, len(p.W.Data))
+		return
+	}
+	mk := p.Mask.Data
+	for lo, hi := nextRun(mk, 0); lo < len(mk); lo, hi = nextRun(mk, hi) {
+		o.adamRange(p.W.Data, p.Grad.Data, m, v, lo, hi)
+	}
+}
+
+// adamRange is the dense update kernel for elements [lo, hi),
+// arithmetic-identical to the historical per-element loop.
+func (o *Adam) adamRange(w, grad, m, v []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := grad[i] + o.WeightDecay*w[i]
+		m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+		v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+		mh := float64(m[i]) / o.c1
+		vh := float64(v[i]) / o.c2
+		w[i] -= o.LR * float32(mh/(math.Sqrt(vh)+float64(o.Eps)))
 	}
 }

@@ -22,9 +22,16 @@ type BatchNorm2D struct {
 	RunningVar  *tensor.Tensor // [C]
 
 	// cached forward state
-	xhat    *tensor.Tensor
+	xhat    *tensor.Tensor // nil after eval Forward
 	invStd  []float32
 	inShape []int
+
+	// reusable workspaces: out, the xhat cache, and the backward dx are
+	// fully overwritten on every call.
+	out       *tensor.Tensor
+	xhatBuf   *tensor.Tensor
+	invStdBuf []float32
+	dx        *tensor.Tensor
 }
 
 // NewBatchNorm2D constructs a batch-norm layer for c channels.
@@ -57,13 +64,16 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if c != bn.C {
 		panic("nn: BatchNorm2D channel mismatch")
 	}
-	out := tensor.New(x.Shape...)
+	out := ensureShaped(bn.out, x.Shape)
+	bn.out = out
 	plane := h * w
 	count := n * plane
-	bn.inShape = append([]int(nil), x.Shape...)
+	bn.inShape = append(bn.inShape[:0], x.Shape...)
 	if train {
-		bn.xhat = tensor.New(x.Shape...)
-		bn.invStd = make([]float32, c)
+		bn.xhatBuf = ensureShaped(bn.xhatBuf, x.Shape)
+		bn.xhat = bn.xhatBuf
+		bn.invStdBuf = growFloats(bn.invStdBuf, c)
+		bn.invStd = bn.invStdBuf
 	} else {
 		bn.xhat = nil
 		bn.invStd = nil
@@ -121,7 +131,8 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3]
 	plane := h * w
 	count := float32(n * plane)
-	dx := tensor.New(bn.inShape...)
+	dx := ensureShaped(bn.dx, bn.inShape)
+	bn.dx = dx
 	for ch := 0; ch < c; ch++ {
 		var sumDy, sumDyXhat float64
 		for i := 0; i < n; i++ {

@@ -22,8 +22,9 @@ type Conv2D struct {
 	UseBias bool
 
 	// cached forward state for backprop
-	cols    []*tensor.Tensor // per-sample im2col matrices
+	cols    []*tensor.Tensor // per-sample im2col matrices, reused across steps
 	inShape []int
+	trained bool // last Forward was train-mode (cols are valid)
 
 	// inference workspaces: one scratch arena per worker chunk plus a
 	// reusable output tensor, so eval-mode Forward performs no heap
@@ -33,6 +34,19 @@ type Conv2D struct {
 	wMat   *tensor.Tensor // cached KernelMatrix view of Weight.W
 	infWS  []*convWorkspace
 	infOut *tensor.Tensor
+
+	// training workspaces (DESIGN §13): the same ownership rule as the
+	// inference path — trainOut is valid until the next train Forward,
+	// the Backward result until the next Backward — makes the warm
+	// train step allocation-free.
+	trainOut *tensor.Tensor
+	trainWS  []*convTrainWS
+	bwdDx    *tensor.Tensor
+	bwdGws   []*tensor.Tensor // per-item dW partials, reused across steps
+	bwdBias  []float32        // per-item bias-gradient partials
+	bwdWS    []*convBwdWS
+	wT       *tensor.Tensor // Weightᵀ staging [InC*KH*KW, OutC], refreshed per Backward
+	gwMat    *tensor.Tensor // cached kernel-matrix view of Weight.Grad
 }
 
 // convWorkspace is the per-chunk scratch arena of the inference path:
@@ -55,6 +69,54 @@ func (c *Conv2D) newWorkspace() *convWorkspace {
 		cols:   tensor.New(kk, ncols),
 		outMat: tensor.New(c.OutC, ncols),
 		panel:  make([]float32, tensor.MatMulPanelLen(kk)),
+	}
+}
+
+// convTrainWS is the per-chunk scratch of the training forward pass:
+// headers re-pointed at the current item's input and output slices plus
+// a GEMM packing panel. The im2col matrices themselves live in c.cols
+// (per item, reused across steps — Backward needs them after the
+// barrier).
+type convTrainWS struct {
+	img    *tensor.Tensor // header re-pointed at each item's input slice
+	outMat *tensor.Tensor // header re-pointed at each item's output slice
+	panel  []float32      // MatMulIntoWS packing scratch
+}
+
+func (c *Conv2D) newTrainWS() *convTrainWS {
+	g := c.Geom
+	kk := g.InC * g.KH * g.KW
+	return &convTrainWS{
+		img:    &tensor.Tensor{Shape: []int{g.InC, g.InH, g.InW}},
+		outMat: &tensor.Tensor{Shape: []int{c.OutC, g.OutH() * g.OutW()}},
+		panel:  make([]float32, tensor.MatMulPanelLen(kk)),
+	}
+}
+
+// convBwdWS is the per-chunk scratch of the backward pass: a gradient
+// header, the dCols staging matrix, an image header aimed at the item's
+// dx slice, and one packing panel sized for both backward GEMMs
+// (k = OutH·OutW for the dW product, k = OutC for the dCols product).
+type convBwdWS struct {
+	gMat  *tensor.Tensor // header re-pointed at each item's grad slice
+	dCols *tensor.Tensor // [InC*KH*KW, OutH*OutW]
+	img   *tensor.Tensor // header re-pointed at each item's dx slice
+	panel []float32
+}
+
+func (c *Conv2D) newBwdWS() *convBwdWS {
+	g := c.Geom
+	kk := g.InC * g.KH * g.KW
+	ncols := g.OutH() * g.OutW()
+	kmax := ncols
+	if c.OutC > kmax {
+		kmax = c.OutC
+	}
+	return &convBwdWS{
+		gMat:  &tensor.Tensor{Shape: []int{c.OutC, ncols}},
+		dCols: tensor.New(kk, ncols),
+		img:   &tensor.Tensor{Shape: []int{g.InC, g.InH, g.InW}},
+		panel: make([]float32, tensor.MatMulPanelLen(kmax)),
 	}
 }
 
@@ -114,36 +176,76 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train {
 		return c.forwardInfer(x, n)
 	}
-	out := tensor.New(n, c.OutC, oh, ow)
+	// Training buffers follow the same ownership rule as the inference
+	// path: out, the per-item im2col matrices in c.cols, and the
+	// Backward buffers are all reused across steps, so the warm train
+	// step performs no heap allocations (DESIGN §13).
+	out := c.trainOut
+	if out == nil || out.Shape[0] != n {
+		out = tensor.New(n, c.OutC, oh, ow)
+		c.trainOut = out
+	}
 	wMat := c.kernelMat()
-	c.cols = make([]*tensor.Tensor, n)
-	c.inShape = append([]int(nil), x.Shape...)
+	kk := g.InC * g.KH * g.KW
+	if cap(c.cols) < n {
+		c.cols = append(c.cols[:cap(c.cols)], make([]*tensor.Tensor, n-cap(c.cols))...)
+	}
+	c.cols = c.cols[:n]
+	for i := range c.cols {
+		if c.cols[i] == nil {
+			c.cols[i] = tensor.New(kk, oh*ow)
+		}
+	}
+	c.inShape = append(c.inShape[:0], x.Shape...)
+	c.trained = true
+	// Batch items are independent: each worker chunk owns its slice of
+	// the output (and of c.cols) and carries a private scratch arena,
+	// so items shard across the pool with no shared writes. Per-element
+	// arithmetic matches the serial loop exactly, and Workers()==1
+	// calls the range kernel directly (no closure, no allocation).
+	nchunks := parallel.Workers()
+	if nchunks > n {
+		nchunks = n
+	}
+	for len(c.trainWS) < nchunks {
+		c.trainWS = append(c.trainWS, c.newTrainWS())
+	}
+	if nchunks == 1 {
+		c.trainRange(out, x, wMat, 0, n, c.trainWS[0])
+		return out
+	}
+	grain := (n + nchunks - 1) / nchunks
+	parallel.For(n, grain, func(lo, hi int) {
+		c.trainRange(out, x, wMat, lo, hi, c.trainWS[lo/grain])
+	})
+	return out
+}
+
+// trainRange runs the training forward pass for batch items [lo, hi)
+// with one scratch arena. The GEMM writes straight into the item's
+// output slice through the re-pointed outMat header — bit-identical to
+// the historical staging-matrix-plus-copy, since MatMulIntoWS fully
+// overwrites its destination.
+func (c *Conv2D) trainRange(out, x, wMat *tensor.Tensor, lo, hi int, ws *convTrainWS) {
+	g := c.Geom
+	oh, ow := g.OutH(), g.OutW()
 	perIn := g.InC * g.InH * g.InW
 	perOut := c.OutC * oh * ow
-	// Batch items are independent: each worker chunk owns its slice of
-	// the output (and of c.cols) and carries a private im2col-output
-	// scratch matrix, so items shard across the pool with no shared
-	// writes. Per-element arithmetic matches the serial loop exactly.
-	parallel.For(n, 1, func(lo, hi int) {
-		outMat := tensor.New(c.OutC, oh*ow)
-		for i := lo; i < hi; i++ {
-			img := tensor.FromSlice(x.Data[i*perIn:(i+1)*perIn], g.InC, g.InH, g.InW)
-			cols := tensor.Im2Col(img, g)
-			c.cols[i] = cols
-			tensor.MatMulInto(outMat, wMat, cols)
-			copy(out.Data[i*perOut:(i+1)*perOut], outMat.Data)
-			if c.UseBias {
-				for oc := 0; oc < c.OutC; oc++ {
-					b := c.Bias.W.Data[oc]
-					base := (i*c.OutC + oc) * oh * ow
-					for j := 0; j < oh*ow; j++ {
-						out.Data[base+j] += b
-					}
+	for i := lo; i < hi; i++ {
+		ws.img.Data = x.Data[i*perIn : (i+1)*perIn]
+		tensor.Im2ColInto(c.cols[i], ws.img, g)
+		ws.outMat.Data = out.Data[i*perOut : (i+1)*perOut]
+		tensor.MatMulIntoWS(ws.outMat, wMat, c.cols[i], ws.panel)
+		if c.UseBias {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.W.Data[oc]
+				base := (i*c.OutC + oc) * oh * ow
+				for j := 0; j < oh*ow; j++ {
+					out.Data[base+j] += b
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // forwardInfer is the allocation-free inference path: batch items run
@@ -157,7 +259,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // the layer: it is valid until c's next inference Forward, which every
 // in-repo caller satisfies by consuming activations within the pass.
 func (c *Conv2D) forwardInfer(x *tensor.Tensor, n int) *tensor.Tensor {
-	c.cols = nil // inference never caches backprop state
+	c.trained = false // inference never caches backprop state
 	wMat := c.kernelMat()
 	out := c.infOut
 	if out == nil || out.Shape[0] != n {
@@ -207,59 +309,110 @@ func (c *Conv2D) inferRange(out, x, wMat *tensor.Tensor, lo, hi int, ws *convWor
 }
 
 // Backward implements Module. grad has shape [N, OutC, OutH, OutW].
+// All scratch — dx, the per-item dW partials, the dCols staging
+// matrices, the Wᵀ copy — is reused across steps, so a warm call
+// performs no heap allocations; the returned dx is owned by the layer
+// until its next Backward (DESIGN §13).
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if c.cols == nil {
+	if !c.trained {
 		panic("nn: Conv2D.Backward called without a train-mode Forward")
 	}
 	n := grad.Dim(0)
 	g := c.Geom
-	oh, ow := g.OutH(), g.OutW()
-	wMat := c.KernelMatrix()
-	gradW := c.Weight.Grad.Reshape(c.OutC, g.InC*g.KH*g.KW)
-	dx := tensor.New(c.inShape...)
-	perIn := g.InC * g.InH * g.InW
-	perOut := c.OutC * oh * ow
+	kk := g.InC * g.KH * g.KW
+	wMat := c.kernelMat()
+	if c.gwMat == nil || &c.gwMat.Data[0] != &c.Weight.Grad.Data[0] {
+		c.gwMat = c.Weight.Grad.Reshape(c.OutC, kk)
+	}
+	gradW := c.gwMat
+	dx := c.bwdDx
+	if dx == nil || dx.Size() != n*g.InC*g.InH*g.InW {
+		dx = tensor.New(c.inShape...)
+		c.bwdDx = dx
+	} else {
+		dx.Shape = append(dx.Shape[:0], c.inShape...)
+	}
+	// The dCols product needs Wᵀ; transposing the kernel matrix once
+	// per Backward lets every item run the register-blocked MatMul
+	// kernel, whose per-element accumulation order and zero-skip set
+	// match the historical p-outer MatMulTransA exactly.
+	if c.wT == nil {
+		c.wT = tensor.New(kk, c.OutC)
+	}
+	tensor.TransposeInto(c.wT, wMat)
 	// Weight and bias gradients are reductions across batch items, so
 	// determinism requires two phases: workers compute per-item partials
 	// into index-addressed slots (dx is written disjointly in the same
 	// pass), and after the barrier the partials are folded in ascending
 	// item order — the exact float32 accumulation order of the serial
 	// loop.
-	gws := make([]*tensor.Tensor, n)
-	var biasPart []float32
-	if c.UseBias {
-		biasPart = make([]float32, n*c.OutC)
+	if cap(c.bwdGws) < n {
+		c.bwdGws = append(c.bwdGws[:cap(c.bwdGws)], make([]*tensor.Tensor, n-cap(c.bwdGws))...)
 	}
-	parallel.For(n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			gMat := tensor.FromSlice(grad.Data[i*perOut:(i+1)*perOut], c.OutC, oh*ow)
-			// dW_i = gMat × colsᵀ
-			gws[i] = tensor.MatMulTransB(gMat, c.cols[i])
-			// dCols = Wᵀ × gMat ; dX = col2im(dCols)
-			dCols := tensor.MatMulTransA(wMat, gMat)
-			img := tensor.Col2Im(dCols, g)
-			copy(dx.Data[i*perIn:(i+1)*perIn], img.Data)
-			if c.UseBias {
-				for oc := 0; oc < c.OutC; oc++ {
-					base := (i*c.OutC + oc) * oh * ow
-					var s float32
-					for j := 0; j < oh*ow; j++ {
-						s += grad.Data[base+j]
-					}
-					biasPart[i*c.OutC+oc] = s
-				}
-			}
+	c.bwdGws = c.bwdGws[:n]
+	for i := range c.bwdGws {
+		if c.bwdGws[i] == nil {
+			c.bwdGws[i] = tensor.New(c.OutC, kk)
 		}
-	})
+	}
+	if c.UseBias {
+		c.bwdBias = growFloats(c.bwdBias, n*c.OutC)
+	}
+	nchunks := parallel.Workers()
+	if nchunks > n {
+		nchunks = n
+	}
+	for len(c.bwdWS) < nchunks {
+		c.bwdWS = append(c.bwdWS, c.newBwdWS())
+	}
+	if nchunks == 1 {
+		c.backwardRange(dx, grad, 0, n, c.bwdWS[0])
+	} else {
+		grain := (n + nchunks - 1) / nchunks
+		parallel.For(n, grain, func(lo, hi int) {
+			c.backwardRange(dx, grad, lo, hi, c.bwdWS[lo/grain])
+		})
+	}
 	for i := 0; i < n; i++ {
-		gradW.Add(gws[i])
+		gradW.Add(c.bwdGws[i])
 		if c.UseBias {
 			for oc := 0; oc < c.OutC; oc++ {
-				c.Bias.Grad.Data[oc] += biasPart[i*c.OutC+oc]
+				c.Bias.Grad.Data[oc] += c.bwdBias[i*c.OutC+oc]
 			}
 		}
 	}
 	return dx
+}
+
+// backwardRange computes the per-item backward products for batch
+// items [lo, hi) with one scratch arena: dW partials into c.bwdGws,
+// dCols = Wᵀ×gMat, and the input gradient scattered straight into the
+// item's dx slice through the re-pointed img header (Col2ImInto zeroes
+// the slice first, so the result matches a fresh allocation).
+func (c *Conv2D) backwardRange(dx, grad *tensor.Tensor, lo, hi int, ws *convBwdWS) {
+	g := c.Geom
+	oh, ow := g.OutH(), g.OutW()
+	perIn := g.InC * g.InH * g.InW
+	perOut := c.OutC * oh * ow
+	for i := lo; i < hi; i++ {
+		ws.gMat.Data = grad.Data[i*perOut : (i+1)*perOut]
+		// dW_i = gMat × colsᵀ
+		tensor.MatMulTransBIntoWS(c.bwdGws[i], ws.gMat, c.cols[i], ws.panel)
+		// dCols = Wᵀ × gMat ; dX_i = col2im(dCols)
+		tensor.MatMulIntoWS(ws.dCols, c.wT, ws.gMat, ws.panel)
+		ws.img.Data = dx.Data[i*perIn : (i+1)*perIn]
+		tensor.Col2ImInto(ws.img, ws.dCols, g)
+		if c.UseBias {
+			for oc := 0; oc < c.OutC; oc++ {
+				base := (i*c.OutC + oc) * oh * ow
+				var s float32
+				for j := 0; j < oh*ow; j++ {
+					s += grad.Data[base+j]
+				}
+				c.bwdBias[i*c.OutC+oc] = s
+			}
+		}
+	}
 }
 
 // Linear is a fully-connected layer: y = xW¹ + b with W of shape
@@ -274,6 +427,15 @@ type Linear struct {
 	Bias   *Param // [Out]
 
 	x *tensor.Tensor // cached input [N, In]
+
+	// reusable workspaces (DESIGN §13): the returned output / input
+	// gradient are owned by the layer until its next Forward / Backward.
+	out      *tensor.Tensor // [N, Out]
+	dx       *tensor.Tensor // [N, In]
+	gw       *tensor.Tensor // dW staging [Out, In]
+	fwdPanel []float32      // MatMulPanelLen(In)
+	dxPanel  []float32      // MatMulPanelLen(Out)
+	aScratch []float32      // MatMulTransAScratchLen(N, Out), grown with N
 }
 
 // NewLinear constructs a fully-connected layer with He initialization.
@@ -306,8 +468,16 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		l.x = nil
 	}
-	out := tensor.MatMulTransB(x, l.Weight.W) // [N,In]×[Out,In]ᵀ = [N,Out]
 	n := x.Dim(0)
+	out := l.out
+	if out == nil || out.Shape[0] != n {
+		out = tensor.New(n, l.Out)
+		l.out = out
+	}
+	if l.fwdPanel == nil {
+		l.fwdPanel = make([]float32, tensor.MatMulPanelLen(l.In))
+	}
+	tensor.MatMulTransBIntoWS(out, x, l.Weight.W, l.fwdPanel) // [N,In]×[Out,In]ᵀ = [N,Out]
 	for i := 0; i < n; i++ {
 		row := out.Data[i*l.Out : (i+1)*l.Out]
 		for j := range row {
@@ -322,10 +492,14 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.x == nil {
 		panic("nn: Linear.Backward called without a train-mode Forward")
 	}
-	// dW = gradᵀ × x  → [Out, In]
-	gw := tensor.MatMulTransA(grad, l.x)
-	l.Weight.Grad.Add(gw)
 	n := grad.Dim(0)
+	// dW = gradᵀ × x  → [Out, In]
+	if l.gw == nil {
+		l.gw = tensor.New(l.Out, l.In)
+	}
+	l.aScratch = growFloats(l.aScratch, tensor.MatMulTransAScratchLen(n, l.Out))
+	tensor.MatMulTransAIntoWS(l.gw, grad, l.x, l.aScratch)
+	l.Weight.Grad.Add(l.gw)
 	for i := 0; i < n; i++ {
 		row := grad.Data[i*l.Out : (i+1)*l.Out]
 		for j, v := range row {
@@ -333,5 +507,12 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx = grad × W → [N, In]
-	return tensor.MatMul(grad, l.Weight.W)
+	if l.dx == nil || l.dx.Shape[0] != n {
+		l.dx = tensor.New(n, l.In)
+	}
+	if l.dxPanel == nil {
+		l.dxPanel = make([]float32, tensor.MatMulPanelLen(l.Out))
+	}
+	tensor.MatMulIntoWS(l.dx, grad, l.Weight.W, l.dxPanel)
+	return l.dx
 }

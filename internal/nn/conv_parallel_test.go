@@ -10,11 +10,14 @@ import (
 
 // convPass runs one train-mode forward/backward through a fresh-grad
 // Conv2D and returns every tensor the pass produced or accumulated.
+// out and dx are cloned because the layer reuses those buffers across
+// calls — without the copy, the serial-vs-parallel comparison below
+// would compare a workspace against itself.
 func convPass(c *Conv2D, x, upstream *tensor.Tensor) (out, dx, gw, gb *tensor.Tensor) {
 	c.Weight.ZeroGrad()
 	c.Bias.ZeroGrad()
-	out = c.Forward(x, true)
-	dx = c.Backward(upstream)
+	out = c.Forward(x, true).Clone()
+	dx = c.Backward(upstream).Clone()
 	return out, dx, c.Weight.Grad.Clone(), c.Bias.Grad.Clone()
 }
 

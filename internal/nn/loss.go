@@ -9,9 +9,19 @@ import (
 // Softmax writes the row-wise softmax of logits [N, K] into a new tensor,
 // using the max-subtraction trick for numerical stability.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(logits.Shape...)
+	SoftmaxInto(out, logits)
+	return out
+}
+
+// SoftmaxInto writes the row-wise softmax of logits [N, K] into the
+// caller-owned out, overwriting it completely.
+func SoftmaxInto(out, logits *tensor.Tensor) {
 	shapeCheck("Softmax", logits, 2)
 	n, k := logits.Dim(0), logits.Dim(1)
-	out := tensor.New(n, k)
+	if out.Size() != n*k {
+		panic("nn: SoftmaxInto output size mismatch")
+	}
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*k : (i+1)*k]
 		dst := out.Data[i*k : (i+1)*k]
@@ -32,19 +42,47 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 			dst[j] *= inv
 		}
 	}
-	return out
 }
 
 // SoftmaxCrossEntropy returns the mean cross-entropy loss of logits
 // [N, K] against integer labels, plus dL/dlogits (already divided by N,
-// ready to feed into Backward).
+// ready to feed into Backward). It allocates fresh probability and
+// gradient tensors each call; training loops that must not allocate
+// use a SoftmaxCE instead.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
-	n, k := logits.Dim(0), logits.Dim(1)
+	probs := Softmax(logits)
+	grad := tensor.New(logits.Shape...)
+	loss := ceLossGrad(probs, grad, labels)
+	return loss, grad
+}
+
+// SoftmaxCE is the workspace-backed softmax cross-entropy: Loss writes
+// the probabilities and gradient into buffers owned by the struct, so a
+// warm training step performs no loss-side allocations. The returned
+// gradient is valid until the next Loss call (DESIGN §13 ownership
+// rule). The zero value is ready to use.
+type SoftmaxCE struct {
+	probs *tensor.Tensor
+	grad  *tensor.Tensor
+}
+
+// Loss computes the mean cross-entropy of logits [N, K] against labels
+// and dL/dlogits, bit-identical to SoftmaxCrossEntropy.
+func (s *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	s.probs = ensureShaped(s.probs, logits.Shape)
+	s.grad = ensureShaped(s.grad, logits.Shape)
+	SoftmaxInto(s.probs, logits)
+	loss := ceLossGrad(s.probs, s.grad, labels)
+	return loss, s.grad
+}
+
+// ceLossGrad turns row-wise probabilities into the mean cross-entropy
+// loss and its logits gradient, overwriting grad completely.
+func ceLossGrad(probs, grad *tensor.Tensor, labels []int) float64 {
+	n, k := probs.Dim(0), probs.Dim(1)
 	if len(labels) != n {
 		panic("nn: label count does not match batch size")
 	}
-	probs := Softmax(logits)
-	grad := tensor.New(n, k)
 	invN := float32(1 / float64(n))
 	var loss float64
 	for i := 0; i < n; i++ {
@@ -66,7 +104,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 			grad.Data[i*k+j] = g * invN
 		}
 	}
-	return loss / float64(n), grad
+	return loss / float64(n)
 }
 
 // Accuracy returns the fraction of rows of logits [N, K] whose argmax

@@ -76,3 +76,31 @@ func shapeCheck(what string, x *tensor.Tensor, rank int) {
 		panic(fmt.Sprintf("nn: %s expected rank-%d input, got %v", what, rank, x.Shape))
 	}
 }
+
+// ensureShaped readies a reusable workspace tensor for the given shape:
+// if ws already holds the right element count its shape header is
+// refreshed in place and it is returned, otherwise a fresh tensor is
+// allocated (first call, or a batch-size change). Contents are NOT
+// cleared — callers either overwrite every element or zero explicitly,
+// which is what keeps a reused buffer indistinguishable from a fresh
+// allocation (DESIGN §11/§13 ownership rules).
+func ensureShaped(ws *tensor.Tensor, shape []int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if ws == nil || len(ws.Data) != n {
+		return tensor.New(shape...)
+	}
+	ws.Shape = append(ws.Shape[:0], shape...)
+	return ws
+}
+
+// growFloats returns buf if it already holds at least n floats, or a
+// fresh slice otherwise. Contents are unspecified.
+func growFloats(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}

@@ -58,7 +58,10 @@ type ResidualBlock struct {
 	Shortcut   *Conv2D
 	ShortcutBN *BatchNorm2D
 
-	reluMask []bool // mask of the final ReLU
+	reluMask []bool // mask of the final ReLU; nil after eval Forward
+	maskBuf  []bool
+	out      *tensor.Tensor // reused sum+ReLU output
+	g        *tensor.Tensor // reused masked-gradient buffer
 }
 
 // Params implements Module.
@@ -91,18 +94,34 @@ func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		short = b.Shortcut.Forward(x, train)
 		short = b.ShortcutBN.Forward(short, train)
 	}
-	out := tensor.New(main.Shape...)
+	// The sum+ReLU output and its mask are reusable workspaces: every
+	// element is written unconditionally, so warm calls allocate
+	// nothing.
+	out := ensureShaped(b.out, main.Shape)
+	b.out = out
 	if train {
-		b.reluMask = make([]bool, out.Size())
+		if cap(b.maskBuf) < out.Size() {
+			b.maskBuf = make([]bool, out.Size())
+		}
+		b.reluMask = b.maskBuf[:out.Size()]
+		for i := range out.Data {
+			v := main.Data[i] + short.Data[i]
+			pos := v > 0
+			b.reluMask[i] = pos
+			if pos {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
 	} else {
 		b.reluMask = nil
-	}
-	for i := range out.Data {
-		v := main.Data[i] + short.Data[i]
-		if v > 0 {
-			out.Data[i] = v
-			if b.reluMask != nil {
-				b.reluMask[i] = true
+		for i := range out.Data {
+			v := main.Data[i] + short.Data[i]
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
 			}
 		}
 	}
@@ -114,10 +133,13 @@ func (b *ResidualBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if b.reluMask == nil {
 		panic("nn: ResidualBlock.Backward called without a train-mode Forward")
 	}
-	g := tensor.New(grad.Shape...)
+	g := ensureShaped(b.g, grad.Shape)
+	b.g = g
 	for i, v := range grad.Data {
 		if b.reluMask[i] {
 			g.Data[i] = v
+		} else {
+			g.Data[i] = 0
 		}
 	}
 	dMain := b.BN2.Backward(g)

@@ -1,0 +1,52 @@
+package nn
+
+import "seal/internal/parallel"
+
+// stepper is the per-parameter update kernel an optimizer exposes to
+// stepParams. stepOne must touch only p and optimizer state that was
+// fully materialized before the fan-out (see the lazy-state pre-pass in
+// SGD.Step / Adam.Step), so concurrent calls on distinct parameters
+// are race-free.
+type stepper interface {
+	stepOne(p *Param)
+}
+
+// stepParams applies o.stepOne to every parameter and clears its
+// gradient. Parameters are independent — no update reads another
+// parameter's state — so the fan-out across the worker pool is
+// deterministic for free: each element's arithmetic is identical
+// regardless of which worker runs it or in what order. Workers()==1
+// takes the plain loop (an interface call, no closure), keeping the
+// warm train step allocation-free on a single-core host.
+func stepParams(o stepper, params []*Param) {
+	if parallel.Workers() == 1 || len(params) == 1 {
+		for _, p := range params {
+			o.stepOne(p)
+			p.ZeroGrad()
+		}
+		return
+	}
+	parallel.For(len(params), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o.stepOne(params[i])
+			params[i].ZeroGrad()
+		}
+	})
+}
+
+// nextRun returns the next maximal run [lo, hi) of unmasked (nonzero)
+// mask entries at or after i; lo == len(mask) when none remain. The
+// masked optimizer paths in SGD and Adam share it to hoist the
+// per-element mask branch out of the update loops: each run is handed
+// to the dense range kernel, which performs exactly the arithmetic the
+// historical per-element loop did on the unmasked elements.
+func nextRun(mask []float32, i int) (lo, hi int) {
+	for i < len(mask) && mask[i] == 0 {
+		i++
+	}
+	lo = i
+	for i < len(mask) && mask[i] != 0 {
+		i++
+	}
+	return lo, i
+}

@@ -11,9 +11,12 @@ import (
 type MaxPool2D struct {
 	Name        string
 	K, Stride   int
-	argmax      []int32 // flat input index per output element
+	argmax      []int32 // flat input index per output element; nil after eval
+	argmaxBuf   []int32
 	inShape     []int
 	outElements int
+	out         *tensor.Tensor
+	dx          *tensor.Tensor
 }
 
 // NewMaxPool2D constructs a max-pooling layer with a square window.
@@ -39,11 +42,22 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: %s window %d/%d too large for input %v", p.Name, p.K, p.Stride, x.Shape))
 	}
-	out := tensor.New(n, c, oh, ow)
-	p.inShape = append([]int(nil), x.Shape...)
+	// The output, argmax table, and backward dx are reusable
+	// workspaces: every output element is written unconditionally and
+	// dx is zeroed before the scatter, so warm calls allocate nothing.
+	if p.out == nil || p.out.Size() != n*c*oh*ow {
+		p.out = tensor.New(n, c, oh, ow)
+	} else {
+		p.out.Shape = append(p.out.Shape[:0], n, c, oh, ow)
+	}
+	out := p.out
+	p.inShape = append(p.inShape[:0], x.Shape...)
 	p.outElements = out.Size()
 	if train {
-		p.argmax = make([]int32, out.Size())
+		if cap(p.argmaxBuf) < out.Size() {
+			p.argmaxBuf = make([]int32, out.Size())
+		}
+		p.argmax = p.argmaxBuf[:out.Size()]
 	} else {
 		p.argmax = nil
 	}
@@ -87,7 +101,9 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Size() != p.outElements {
 		panic("nn: MaxPool2D.Backward gradient size mismatch")
 	}
-	dx := tensor.New(p.inShape...)
+	dx := ensureShaped(p.dx, p.inShape)
+	p.dx = dx
+	dx.Zero()
 	for i, g := range grad.Data {
 		dx.Data[p.argmax[i]] += g
 	}
@@ -100,6 +116,8 @@ type AvgPool2D struct {
 	Name      string
 	K, Stride int
 	inShape   []int
+	out       *tensor.Tensor
+	dx        *tensor.Tensor
 }
 
 // NewAvgPool2D constructs an average-pooling layer with a square window.
@@ -125,8 +143,13 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: %s window %d/%d too large for input %v", p.Name, p.K, p.Stride, x.Shape))
 	}
-	p.inShape = append([]int(nil), x.Shape...)
-	out := tensor.New(n, c, oh, ow)
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	if p.out == nil || p.out.Size() != n*c*oh*ow {
+		p.out = tensor.New(n, c, oh, ow)
+	} else {
+		p.out.Shape = append(p.out.Shape[:0], n, c, oh, ow)
+	}
+	out := p.out
 	inv := 1 / float32(p.K*p.K)
 	oi := 0
 	for i := 0; i < n; i++ {
@@ -159,7 +182,9 @@ func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	oh := (h-p.K)/p.Stride + 1
 	ow := (w-p.K)/p.Stride + 1
-	dx := tensor.New(p.inShape...)
+	dx := ensureShaped(p.dx, p.inShape)
+	p.dx = dx
+	dx.Zero()
 	inv := 1 / float32(p.K*p.K)
 	gi := 0
 	for i := 0; i < n; i++ {
@@ -182,10 +207,16 @@ func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
-// Flatten reshapes [N, C, H, W] activations to [N, C*H*W].
+// Flatten reshapes [N, C, H, W] activations to [N, C*H*W]. Both
+// directions return reusable view headers over the argument's storage
+// (no data copy, no per-call header allocation); each view is valid
+// until the layer's next call in that direction, like every other
+// workspace in the training path.
 type Flatten struct {
 	Name    string
 	inShape []int
+	fwdView tensor.Tensor
+	bwdView tensor.Tensor
 }
 
 // NewFlatten constructs a flattening adapter.
@@ -199,12 +230,16 @@ func (f *Flatten) Params() []*Param { return nil }
 
 // Forward implements Module.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append([]int(nil), x.Shape...)
+	f.inShape = append(f.inShape[:0], x.Shape...)
 	n := x.Dim(0)
-	return x.Reshape(n, x.Size()/n)
+	f.fwdView.Shape = append(f.fwdView.Shape[:0], n, x.Size()/n)
+	f.fwdView.Data = x.Data
+	return &f.fwdView
 }
 
 // Backward implements Module.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	f.bwdView.Shape = append(f.bwdView.Shape[:0], f.inShape...)
+	f.bwdView.Data = grad.Data
+	return &f.bwdView
 }

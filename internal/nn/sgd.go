@@ -24,25 +24,63 @@ func NewSGD(lr, momentum, weightDecay float32) *SGD {
 }
 
 // Step applies one update to every parameter and clears the gradients.
+// The per-element Mask/Momentum branches of the historical loop are
+// hoisted into four specialized paths in stepOne, and the independent
+// per-parameter updates fan out across the worker pool.
 func (o *SGD) Step(params []*Param) {
-	for _, p := range params {
-		v := o.velocity[p]
-		if v == nil && o.Momentum != 0 {
-			v = tensor.New(p.W.Shape...)
-			o.velocity[p] = v
-		}
-		for i := range p.W.Data {
-			if p.Mask != nil && p.Mask.Data[i] == 0 {
-				continue
+	if o.Momentum != 0 {
+		// Lazy velocity creation is a map write, so it must happen
+		// serially before the parameters fan out.
+		for _, p := range params {
+			if o.velocity[p] == nil {
+				o.velocity[p] = tensor.New(p.W.Shape...)
 			}
-			g := p.Grad.Data[i] + o.WeightDecay*p.W.Data[i]
-			if o.Momentum != 0 {
-				v.Data[i] = o.Momentum*v.Data[i] + g
-				g = v.Data[i]
-			}
-			p.W.Data[i] -= o.LR * g
 		}
-		p.ZeroGrad()
+	}
+	stepParams(o, params)
+}
+
+// stepOne implements stepper. Each range kernel performs exactly the
+// arithmetic of the historical per-element loop — g := grad + wd*w,
+// optional velocity update, w -= lr*g — on a dense index range, so
+// hoisting the branches changes branch-prediction traffic, never the
+// float operation sequence of any element.
+func (o *SGD) stepOne(p *Param) {
+	w, g := p.W.Data, p.Grad.Data
+	switch {
+	case o.Momentum == 0 && p.Mask == nil:
+		sgdPlainRange(w, g, o.LR, o.WeightDecay, 0, len(w))
+	case o.Momentum == 0:
+		m := p.Mask.Data
+		for lo, hi := nextRun(m, 0); lo < len(m); lo, hi = nextRun(m, hi) {
+			sgdPlainRange(w, g, o.LR, o.WeightDecay, lo, hi)
+		}
+	case p.Mask == nil:
+		sgdMomentumRange(w, g, o.velocity[p].Data, o.LR, o.Momentum, o.WeightDecay, 0, len(w))
+	default:
+		v, m := o.velocity[p].Data, p.Mask.Data
+		for lo, hi := nextRun(m, 0); lo < len(m); lo, hi = nextRun(m, hi) {
+			sgdMomentumRange(w, g, v, o.LR, o.Momentum, o.WeightDecay, lo, hi)
+		}
+	}
+}
+
+// sgdPlainRange is the momentum-free update kernel for elements
+// [lo, hi).
+func sgdPlainRange(w, grad []float32, lr, wd float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := grad[i] + wd*w[i]
+		w[i] -= lr * g
+	}
+}
+
+// sgdMomentumRange is the classical-momentum update kernel for
+// elements [lo, hi).
+func sgdMomentumRange(w, grad, v []float32, lr, mom, wd float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := grad[i] + wd*w[i]
+		v[i] = mom*v[i] + g
+		w[i] -= lr * v[i]
 	}
 }
 

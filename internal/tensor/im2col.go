@@ -74,6 +74,26 @@ func Im2ColInto(cols *Tensor, x *Tensor, g ConvGeom) {
 	}
 }
 
+// validRange returns the half-open range of output positions whose input
+// coordinate o*stride + k - pad lands inside [0, in), clamped to [0, out).
+// Hoisting the bounds test out of the per-element loops leaves straight
+// copy/accumulate kernels over exactly the same positions the branchy
+// loops visited, in the same ascending order.
+func validRange(k, pad, stride, in, out int) (int, int) {
+	lo := 0
+	if k < pad {
+		lo = (pad - k + stride - 1) / stride
+	}
+	hi := (in + pad - k + stride - 1) / stride
+	if hi > out {
+		hi = out
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // im2colChans fills the rows of channels [lo, hi) of an im2col matrix
 // whose padding positions are already zero.
 func im2colChans(cd, xd []float32, g ConvGeom, oh, ow, lo, hi int) {
@@ -81,22 +101,21 @@ func im2colChans(cd, xd []float32, g ConvGeom, oh, ow, lo, hi int) {
 	for c := lo; c < hi; c++ {
 		chanBase := c * g.InH * g.InW
 		for kh := 0; kh < g.KH; kh++ {
+			oy0, oy1 := validRange(kh, g.Pad, g.Stride, g.InH, oh)
 			for kw := 0; kw < g.KW; kw++ {
+				ox0, ox1 := validRange(kw, g.Pad, g.Stride, g.InW, ow)
 				row := (c*g.KH+kh)*g.KW + kw
 				dst := cd[row*ncols : (row+1)*ncols]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.Stride + kh - g.Pad
-					if iy < 0 || iy >= g.InH {
-						continue // leave zeros
-					}
-					srcRow := chanBase + iy*g.InW
+				for oy := oy0; oy < oy1; oy++ {
+					srcRow := chanBase + (oy*g.Stride+kh-g.Pad)*g.InW
 					dstRow := oy * ow
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.Stride + kw - g.Pad
-						if ix < 0 || ix >= g.InW {
-							continue
+					if g.Stride == 1 {
+						ix0 := srcRow + ox0 + kw - g.Pad
+						copy(dst[dstRow+ox0:dstRow+ox1], xd[ix0:ix0+(ox1-ox0)])
+					} else {
+						for ox := ox0; ox < ox1; ox++ {
+							dst[dstRow+ox] = xd[srcRow+ox*g.Stride+kw-g.Pad]
 						}
-						dst[dstRow+ox] = xd[srcRow+ix]
 					}
 				}
 			}
@@ -108,11 +127,25 @@ func im2colChans(cd, xd []float32, g ConvGeom, oh, ow, lo, hi int) {
 // of shape [C, H, W], accumulating overlapping contributions. It is the
 // adjoint of Im2Col and is used for input gradients in conv backprop.
 func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	x := New(g.InC, g.InH, g.InW)
+	Col2ImInto(x, cols, g)
+	return x
+}
+
+// Col2ImInto scatters cols into a caller-owned image x of shape
+// [C, H, W], overwriting it completely (x is zeroed before the
+// accumulating scatter, so a reused workspace yields the same result
+// as a fresh allocation). It is the Into-style entry point the
+// training workspace path in internal/nn threads its scratch through.
+func Col2ImInto(x *Tensor, cols *Tensor, g ConvGeom) {
 	oh, ow := g.OutH(), g.OutW()
 	if len(cols.Shape) != 2 || cols.Shape[0] != g.InC*g.KH*g.KW || cols.Shape[1] != oh*ow {
 		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v", cols.Shape, g))
 	}
-	x := New(g.InC, g.InH, g.InW)
+	if len(x.Shape) != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Col2ImInto output %v does not match geometry %+v", x.Shape, g))
+	}
+	x.Zero()
 	xd, cd := x.Data, cols.Data
 	ncols := oh * ow
 	// Output channel c accumulates only from kernel rows of channel c, so
@@ -123,7 +156,6 @@ func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
 	} else {
 		parallel.For(g.InC, 0, func(lo, hi int) { col2imChans(xd, cd, g, oh, ow, lo, hi) })
 	}
-	return x
 }
 
 // col2imChans scatters the kernel rows of channels [lo, hi) back into
@@ -133,22 +165,24 @@ func col2imChans(xd, cd []float32, g ConvGeom, oh, ow, lo, hi int) {
 	for c := lo; c < hi; c++ {
 		chanBase := c * g.InH * g.InW
 		for kh := 0; kh < g.KH; kh++ {
+			oy0, oy1 := validRange(kh, g.Pad, g.Stride, g.InH, oh)
 			for kw := 0; kw < g.KW; kw++ {
+				ox0, ox1 := validRange(kw, g.Pad, g.Stride, g.InW, ow)
 				row := (c*g.KH+kh)*g.KW + kw
 				src := cd[row*ncols : (row+1)*ncols]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.Stride + kh - g.Pad
-					if iy < 0 || iy >= g.InH {
-						continue
-					}
-					dstRow := chanBase + iy*g.InW
+				for oy := oy0; oy < oy1; oy++ {
+					dstRow := chanBase + (oy*g.Stride+kh-g.Pad)*g.InW
 					srcRow := oy * ow
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.Stride + kw - g.Pad
-						if ix < 0 || ix >= g.InW {
-							continue
+					if g.Stride == 1 {
+						dr := xd[dstRow+ox0+kw-g.Pad : dstRow+ox1+kw-g.Pad]
+						sr := src[srcRow+ox0 : srcRow+ox1]
+						for i, v := range sr {
+							dr[i] += v
 						}
-						xd[dstRow+ix] += src[srcRow+ox]
+					} else {
+						for ox := ox0; ox < ox1; ox++ {
+							xd[dstRow+ox*g.Stride+kw-g.Pad] += src[srcRow+ox]
+						}
 					}
 				}
 			}

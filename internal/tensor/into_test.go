@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"testing"
+
+	"seal/internal/prng"
+)
+
+// refTransA is the historical naive C = Aᵀ×B kernel: p-outer loop,
+// av==0 skip, each C element accumulating over p ascending. The packed
+// Into kernels must reproduce it bit-for-bit.
+func refTransA(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return c
+}
+
+// refTransB is the historical naive C = A×Bᵀ kernel: one column at a
+// time, each dot product over p ascending, no zero skip.
+func refTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[j*k+p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+var transShapes = []struct{ m, k, n int }{
+	{5, 7, 3},    // below the 8-column block: pure remainder path
+	{16, 24, 16}, // exact multiples
+	{33, 19, 29}, // blocks plus remainder
+	{64, 64, 64}, // above the parallel cutover
+}
+
+// TestMatMulTransAIntoBitIdentical verifies the packed TransA kernel
+// against the naive p-outer reference, into a dirty reused workspace,
+// with dirty caller scratch.
+func TestMatMulTransAIntoBitIdentical(t *testing.T) {
+	r := prng.New(31)
+	for _, s := range transShapes {
+		a := sparseTensor(r, s.k, s.m) // A is [k,m] for TransA
+		b := sparseTensor(r, s.k, s.n)
+		want := refTransA(a, b)
+
+		got := MatMulTransA(a, b)
+		bitIdentical(t, "MatMulTransA", want, got)
+
+		ws := New(s.m, s.n)
+		dirtyWorkspace(ws)
+		scratch := make([]float32, MatMulTransAScratchLen(s.k, s.m))
+		for i := range scratch {
+			scratch[i] = -1e30 // scratch contents must not matter
+		}
+		MatMulTransAIntoWS(ws, a, b, scratch)
+		bitIdentical(t, "MatMulTransAIntoWS", want, ws)
+	}
+}
+
+// TestMatMulTransBIntoBitIdentical verifies the packed TransB kernel
+// against the naive one-column reference, into a dirty reused
+// workspace, with dirty caller scratch.
+func TestMatMulTransBIntoBitIdentical(t *testing.T) {
+	r := prng.New(32)
+	for _, s := range transShapes {
+		a := sparseTensor(r, s.m, s.k)
+		b := sparseTensor(r, s.n, s.k) // B is [n,k] for TransB
+		want := refTransB(a, b)
+
+		got := MatMulTransB(a, b)
+		bitIdentical(t, "MatMulTransB", want, got)
+
+		ws := New(s.m, s.n)
+		dirtyWorkspace(ws)
+		panel := make([]float32, MatMulPanelLen(s.k))
+		for i := range panel {
+			panel[i] = -1e30
+		}
+		MatMulTransBIntoWS(ws, a, b, panel)
+		bitIdentical(t, "MatMulTransBIntoWS", want, ws)
+	}
+}
+
+// TestCol2ImIntoMatchesFresh verifies that a dirty reused image buffer
+// produces exactly what the allocating Col2Im does, including zeros at
+// positions no window touches.
+func TestCol2ImIntoMatchesFresh(t *testing.T) {
+	r := prng.New(33)
+	g := ConvGeom{InC: 3, InH: 9, InW: 9, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ws := New(g.InC, g.InH, g.InW)
+	for trial := 0; trial < 3; trial++ {
+		cols := sparseTensor(r, g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+		fresh := Col2Im(cols, g)
+		dirtyWorkspace(ws)
+		Col2ImInto(ws, cols, g)
+		bitIdentical(t, "Col2ImInto", fresh, ws)
+	}
+}

@@ -273,7 +273,11 @@ func MatMulPanelLen(k int) int { return k * matMulPanelCols }
 func MatMulInto(c, a, b *Tensor) { MatMulIntoWS(c, a, b, nil) }
 
 // MatMulIntoWS is MatMulInto with a caller-owned packing scratch of at
-// least MatMulPanelLen(k) floats (nil or short → allocated internally).
+// least MatMulPanelLen(k) floats. A nil panel is allocated internally;
+// a non-nil but undersized panel panics with the required length — a
+// short workspace means the caller sized it for the wrong k, and
+// silently allocating would hide the bug as a per-call allocation on a
+// path that exists to avoid exactly that.
 // Rows of C are independent, so the kernel is row-blocked across the
 // worker pool; each row accumulates over k in ascending order exactly
 // as in the serial loop, keeping parallel output bit-identical to
@@ -284,11 +288,14 @@ func MatMulIntoWS(c, a, b *Tensor, panel []float32) {
 	if c.Shape[0] != m || c.Shape[1] != n {
 		panic("tensor: MatMulInto output shape mismatch")
 	}
+	if panel != nil && len(panel) < k*matMulPanelCols {
+		panic(fmt.Sprintf("tensor: MatMulIntoWS panel len %d, need MatMulPanelLen(%d) = %d", len(panel), k, k*matMulPanelCols))
+	}
 	ad, bd, cd := a.Data, b.Data, c.Data
 	// Workers()==1 skips the closure entirely: the serial path is a
 	// plain call, so hot inference loops stay allocation-free.
 	if m*k*n < minParallelOps || parallel.Workers() == 1 {
-		if len(panel) < k*matMulPanelCols {
+		if panel == nil {
 			panel = make([]float32, k*matMulPanelCols)
 		}
 		matMulRows(cd, ad, bd, panel, k, n, 0, m)
@@ -344,8 +351,88 @@ func matMulRows(cd, ad, bd, panel []float32, k, n, lo, hi int) {
 			cj[4], cj[5], cj[6], cj[7] = c4, c5, c6, c7
 		}
 	}
+	// Remainder columns (n not a multiple of the panel width, or narrow
+	// matrices like the deepest conv stages where npos < 8) are blocked
+	// across rows instead: eight (then four) C elements of one column
+	// accumulate in registers, amortizing the strided B load across the
+	// rows and breaking the single-accumulator add-latency chain. Each
+	// element still sums over p ascending and skips exactly the av==0
+	// terms, so the result is bit-identical to the scalar loop.
 	for j := nb; j < n; j++ {
-		for i := lo; i < hi; i++ {
+		i0 := lo
+		for ; i0+8 <= hi; i0 += 8 {
+			a0 := ad[(i0+0)*k : (i0+1)*k : (i0+1)*k]
+			a1 := ad[(i0+1)*k : (i0+2)*k : (i0+2)*k]
+			a2 := ad[(i0+2)*k : (i0+3)*k : (i0+3)*k]
+			a3 := ad[(i0+3)*k : (i0+4)*k : (i0+4)*k]
+			a4 := ad[(i0+4)*k : (i0+5)*k : (i0+5)*k]
+			a5 := ad[(i0+5)*k : (i0+6)*k : (i0+6)*k]
+			a6 := ad[(i0+6)*k : (i0+7)*k : (i0+7)*k]
+			a7 := ad[(i0+7)*k : (i0+8)*k : (i0+8)*k]
+			var c0, c1, c2, c3, c4, c5, c6, c7 float32
+			for p := 0; p < k; p++ {
+				bv := bd[p*n+j]
+				if av := a0[p]; av != 0 {
+					c0 += av * bv
+				}
+				if av := a1[p]; av != 0 {
+					c1 += av * bv
+				}
+				if av := a2[p]; av != 0 {
+					c2 += av * bv
+				}
+				if av := a3[p]; av != 0 {
+					c3 += av * bv
+				}
+				if av := a4[p]; av != 0 {
+					c4 += av * bv
+				}
+				if av := a5[p]; av != 0 {
+					c5 += av * bv
+				}
+				if av := a6[p]; av != 0 {
+					c6 += av * bv
+				}
+				if av := a7[p]; av != 0 {
+					c7 += av * bv
+				}
+			}
+			cd[(i0+0)*n+j] = c0
+			cd[(i0+1)*n+j] = c1
+			cd[(i0+2)*n+j] = c2
+			cd[(i0+3)*n+j] = c3
+			cd[(i0+4)*n+j] = c4
+			cd[(i0+5)*n+j] = c5
+			cd[(i0+6)*n+j] = c6
+			cd[(i0+7)*n+j] = c7
+		}
+		for ; i0+4 <= hi; i0 += 4 {
+			a0 := ad[(i0+0)*k : (i0+1)*k : (i0+1)*k]
+			a1 := ad[(i0+1)*k : (i0+2)*k : (i0+2)*k]
+			a2 := ad[(i0+2)*k : (i0+3)*k : (i0+3)*k]
+			a3 := ad[(i0+3)*k : (i0+4)*k : (i0+4)*k]
+			var c0, c1, c2, c3 float32
+			for p := 0; p < k; p++ {
+				bv := bd[p*n+j]
+				if av := a0[p]; av != 0 {
+					c0 += av * bv
+				}
+				if av := a1[p]; av != 0 {
+					c1 += av * bv
+				}
+				if av := a2[p]; av != 0 {
+					c2 += av * bv
+				}
+				if av := a3[p]; av != 0 {
+					c3 += av * bv
+				}
+			}
+			cd[(i0+0)*n+j] = c0
+			cd[(i0+1)*n+j] = c1
+			cd[(i0+2)*n+j] = c2
+			cd[(i0+3)*n+j] = c3
+		}
+		for i := i0; i < hi; i++ {
 			ai := ad[i*k : (i+1)*k]
 			var s float32
 			for p, av := range ai {
@@ -362,22 +449,74 @@ func matMulRows(cd, ad, bd, panel []float32, k, n, lo, hi int) {
 // MatMulTransA computes C = Aᵀ×B for A [k,m] and B [k,n] into C [m,n].
 // Used for weight-gradient computation in backprop.
 func MatMulTransA(a, b *Tensor) *Tensor {
+	c := New(a.Shape[1], b.Shape[1])
+	MatMulTransAInto(c, a, b)
+	return c
+}
+
+// MatMulTransAScratchLen returns the scratch length MatMulTransAIntoWS
+// needs for A [k,m]: room to transpose A plus one packing panel.
+func MatMulTransAScratchLen(k, m int) int { return k*m + MatMulPanelLen(k) }
+
+// MatMulTransAInto computes C = Aᵀ×B into an existing C [m,n],
+// overwriting it. It allocates transient scratch; hot loops pass a
+// reusable one to MatMulTransAIntoWS.
+func MatMulTransAInto(c, a, b *Tensor) { MatMulTransAIntoWS(c, a, b, nil) }
+
+// MatMulTransAIntoWS is MatMulTransAInto with caller-owned scratch of
+// at least MatMulTransAScratchLen(k, m) floats (nil → allocated; short
+// → panic, matching MatMulIntoWS). A is first transposed into the
+// scratch and the register-blocked MatMul kernel runs on the copy:
+// every C element then accumulates over p ascending with the same
+// av==0 skip set as the historical p-outer loop, so the output is
+// bit-identical to it — the transpose moves bytes, never changing the
+// float operation order within an element.
+func MatMulTransAIntoWS(c, a, b *Tensor, scratch []float32) {
 	k, m := a.Shape[0], a.Shape[1]
 	if b.Shape[0] != k {
 		panic("tensor: MatMulTransA inner dims mismatch")
 	}
 	n := b.Shape[1]
-	c := New(m, n)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	// Row-block the OUTPUT dimension m: each worker owns rows [lo,hi) of
-	// C and walks p in ascending order, so every C element sees the same
-	// accumulation order as the serial p-outer loop.
-	if m*k*n < minParallelOps || parallel.Workers() == 1 {
-		matMulTransARows(cd, ad, bd, k, m, n, 0, m)
-	} else {
-		parallel.For(m, 0, func(lo, hi int) { matMulTransARows(cd, ad, bd, k, m, n, lo, hi) })
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransAInto output shape mismatch")
 	}
-	return c
+	need := MatMulTransAScratchLen(k, m)
+	if scratch == nil {
+		scratch = make([]float32, need)
+	} else if len(scratch) < need {
+		panic(fmt.Sprintf("tensor: MatMulTransAIntoWS scratch len %d, need MatMulTransAScratchLen(%d, %d) = %d", len(scratch), k, m, need))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	at := scratch[:k*m]
+	panel := scratch[k*m : k*m+MatMulPanelLen(k)]
+	if m*k*n < minParallelOps || parallel.Workers() == 1 {
+		transposeInto(at, ad, k, m)
+		matMulRows(cd, at, bd, panel, k, n, 0, m)
+		return
+	}
+	// Transpose rows of Aᵀ are disjoint per worker chunk; the GEMM then
+	// row-blocks C with per-worker private panels as in MatMulIntoWS.
+	parallel.For(m, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for p := 0; p < k; p++ {
+				at[i*k+p] = ad[p*m+i]
+			}
+		}
+	})
+	parallel.For(m, 0, func(lo, hi int) {
+		matMulRows(cd, at, bd, make([]float32, MatMulPanelLen(k)), k, n, lo, hi)
+	})
+}
+
+// transposeInto writes the [m,k] transpose of the row-major [k,m]
+// matrix src into dst.
+func transposeInto(dst, src []float32, k, m int) {
+	for p := 0; p < k; p++ {
+		row := src[p*m : (p+1)*m]
+		for i, v := range row {
+			dst[i*k+p] = v
+		}
+	}
 }
 
 // matMulTransARows computes rows [lo, hi) of C = Aᵀ×B with the p-outer
@@ -402,51 +541,155 @@ func matMulTransARows(cd, ad, bd []float32, k, m, n, lo, hi int) {
 // MatMulTransB computes C = A×Bᵀ for A [m,k] and B [n,k] into C [m,n].
 // Used for input-gradient computation in backprop.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes C = A×Bᵀ into an existing C [m,n],
+// overwriting it. It allocates a transient packing panel; hot loops
+// pass a reusable one to MatMulTransBIntoWS.
+func MatMulTransBInto(c, a, b *Tensor) { MatMulTransBIntoWS(c, a, b, nil) }
+
+// MatMulTransBIntoWS is MatMulTransBInto with a caller-owned packing
+// scratch of at least MatMulPanelLen(k) floats (nil → allocated; short
+// → panic, matching MatMulIntoWS). Eight B rows at a time are packed
+// p-major into the panel so the inner loop streams one contiguous
+// buffer instead of eight strided rows, with eight C columns held in
+// registers. Every dot product still sums over p in ascending order
+// with no zero skip, exactly as the historical four-wide kernel, so
+// the output is bit-identical to it.
+func MatMulTransBIntoWS(c, a, b *Tensor, panel []float32) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[0]
 	if b.Shape[1] != k {
 		panic("tensor: MatMulTransB inner dims mismatch")
 	}
-	c := New(m, n)
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransBInto output shape mismatch")
+	}
+	if panel != nil && len(panel) < MatMulPanelLen(k) {
+		panic(fmt.Sprintf("tensor: MatMulTransBIntoWS panel len %d, need MatMulPanelLen(%d) = %d", len(panel), k, MatMulPanelLen(k)))
+	}
 	ad, bd, cd := a.Data, b.Data, c.Data
 	if m*k*n < minParallelOps || parallel.Workers() == 1 {
-		matMulTransBRows(cd, ad, bd, k, n, 0, m)
-	} else {
-		parallel.For(m, 0, func(lo, hi int) { matMulTransBRows(cd, ad, bd, k, n, lo, hi) })
+		if panel == nil {
+			panel = make([]float32, MatMulPanelLen(k))
+		}
+		matMulTransBRows(cd, ad, bd, panel, k, n, 0, m)
+		return
 	}
-	return c
+	// The panel packs B columns (shared by all C rows), so each worker
+	// chunk packs its own private copy and the chunks stay
+	// write-disjoint.
+	parallel.For(m, 0, func(lo, hi int) {
+		matMulTransBRows(cd, ad, bd, make([]float32, MatMulPanelLen(k)), k, n, lo, hi)
+	})
 }
 
-// matMulTransBRows computes rows [lo, hi) of C = A×Bᵀ. Four output
-// columns (four B rows) are accumulated per pass over ai, which reuses
-// each av load four times; every dot product still sums over p in
-// ascending order, bit-identical to the one-column-at-a-time loop.
-func matMulTransBRows(cd, ad, bd []float32, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ai := ad[i*k : (i+1)*k]
-		ci := cd[i*n : (i+1)*n]
-		j := 0
-		for ; j+4 <= n; j += 4 {
-			b0 := bd[j*k : (j+1)*k]
-			b1 := bd[(j+1)*k : (j+2)*k]
-			b2 := bd[(j+2)*k : (j+3)*k]
-			b3 := bd[(j+3)*k : (j+4)*k]
-			var s0, s1, s2, s3 float32
-			for p, av := range ai {
-				s0 += av * b0[p]
-				s1 += av * b1[p]
-				s2 += av * b2[p]
-				s3 += av * b3[p]
+// matMulTransBRows computes rows [lo, hi) of C = A×Bᵀ. Eight B rows
+// (eight C columns) are packed p-major into the panel and accumulated
+// in registers per pass over ai, which reuses each av load eight times
+// and turns eight strided B streams into one sequential one; every dot
+// product still sums over p in ascending order with no zero skip,
+// bit-identical to the one-column-at-a-time loop.
+func matMulTransBRows(cd, ad, bd, panel []float32, k, n, lo, hi int) {
+	nb := n &^ (matMulPanelCols - 1)
+	// With at most eight output rows the panel pack (O(k·n) copies) no
+	// longer amortizes; the row-blocked kernel below covers the whole
+	// chunk in one or two register blocks and reads A and B sequentially
+	// with no packing at all, computing every element identically.
+	if hi-lo <= 8 {
+		nb = 0
+	}
+	for j0 := 0; j0 < nb; j0 += matMulPanelCols {
+		pk := panel[: k*matMulPanelCols : k*matMulPanelCols]
+		for t := 0; t < matMulPanelCols; t++ {
+			bt := bd[(j0+t)*k : (j0+t+1)*k]
+			for p, v := range bt {
+				pk[p*matMulPanelCols+t] = v
 			}
-			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
 		}
-		for ; j < n; j++ {
-			bj := bd[j*k : (j+1)*k]
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			var c0, c1, c2, c3, c4, c5, c6, c7 float32
+			for p, av := range ai {
+				bp := pk[p*8 : p*8+8 : p*8+8]
+				c0 += av * bp[0]
+				c1 += av * bp[1]
+				c2 += av * bp[2]
+				c3 += av * bp[3]
+				c4 += av * bp[4]
+				c5 += av * bp[5]
+				c6 += av * bp[6]
+				c7 += av * bp[7]
+			}
+			cj := cd[i*n+j0 : i*n+j0+8 : i*n+j0+8]
+			cj[0], cj[1], cj[2], cj[3] = c0, c1, c2, c3
+			cj[4], cj[5], cj[6], cj[7] = c4, c5, c6, c7
+		}
+	}
+	// Remainder columns are blocked across rows (eight, then four, C
+	// elements of one column in registers): the B row load is shared by
+	// all lanes and the independent accumulators break the add-latency
+	// chain of the scalar loop. Per element the sum still runs over p
+	// ascending with no zero skip — bit-identical.
+	for j := nb; j < n; j++ {
+		bj := bd[j*k : (j+1)*k : (j+1)*k]
+		i0 := lo
+		for ; i0+8 <= hi; i0 += 8 {
+			a0 := ad[(i0+0)*k : (i0+1)*k : (i0+1)*k]
+			a1 := ad[(i0+1)*k : (i0+2)*k : (i0+2)*k]
+			a2 := ad[(i0+2)*k : (i0+3)*k : (i0+3)*k]
+			a3 := ad[(i0+3)*k : (i0+4)*k : (i0+4)*k]
+			a4 := ad[(i0+4)*k : (i0+5)*k : (i0+5)*k]
+			a5 := ad[(i0+5)*k : (i0+6)*k : (i0+6)*k]
+			a6 := ad[(i0+6)*k : (i0+7)*k : (i0+7)*k]
+			a7 := ad[(i0+7)*k : (i0+8)*k : (i0+8)*k]
+			var c0, c1, c2, c3, c4, c5, c6, c7 float32
+			for p, bv := range bj {
+				c0 += a0[p] * bv
+				c1 += a1[p] * bv
+				c2 += a2[p] * bv
+				c3 += a3[p] * bv
+				c4 += a4[p] * bv
+				c5 += a5[p] * bv
+				c6 += a6[p] * bv
+				c7 += a7[p] * bv
+			}
+			cd[(i0+0)*n+j] = c0
+			cd[(i0+1)*n+j] = c1
+			cd[(i0+2)*n+j] = c2
+			cd[(i0+3)*n+j] = c3
+			cd[(i0+4)*n+j] = c4
+			cd[(i0+5)*n+j] = c5
+			cd[(i0+6)*n+j] = c6
+			cd[(i0+7)*n+j] = c7
+		}
+		for ; i0+4 <= hi; i0 += 4 {
+			a0 := ad[(i0+0)*k : (i0+1)*k : (i0+1)*k]
+			a1 := ad[(i0+1)*k : (i0+2)*k : (i0+2)*k]
+			a2 := ad[(i0+2)*k : (i0+3)*k : (i0+3)*k]
+			a3 := ad[(i0+3)*k : (i0+4)*k : (i0+4)*k]
+			var c0, c1, c2, c3 float32
+			for p, bv := range bj {
+				c0 += a0[p] * bv
+				c1 += a1[p] * bv
+				c2 += a2[p] * bv
+				c3 += a3[p] * bv
+			}
+			cd[(i0+0)*n+j] = c0
+			cd[(i0+1)*n+j] = c1
+			cd[(i0+2)*n+j] = c2
+			cd[(i0+3)*n+j] = c3
+		}
+		for i := i0; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
 			var s float32
 			for p, av := range ai {
 				s += av * bj[p]
 			}
-			ci[j] = s
+			cd[i*n+j] = s
 		}
 	}
 }
@@ -456,14 +699,22 @@ func (t *Tensor) Transpose() *Tensor {
 	if len(t.Shape) != 2 {
 		panic("tensor: Transpose requires rank-2 tensor")
 	}
-	m, n := t.Shape[0], t.Shape[1]
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = t.Data[i*n+j]
-		}
-	}
+	out := New(t.Shape[1], t.Shape[0])
+	TransposeInto(out, t)
 	return out
+}
+
+// TransposeInto writes the transpose of rank-2 src [m,n] into the
+// caller-owned dst [n,m], overwriting it.
+func TransposeInto(dst, src *Tensor) {
+	if len(src.Shape) != 2 || len(dst.Shape) != 2 {
+		panic("tensor: TransposeInto requires rank-2 tensors")
+	}
+	m, n := src.Shape[0], src.Shape[1]
+	if dst.Shape[0] != n || dst.Shape[1] != m {
+		panic(fmt.Sprintf("tensor: TransposeInto output %v for input %v", dst.Shape, src.Shape))
+	}
+	transposeInto(dst.Data, src.Data, m, n)
 }
 
 // Equal reports element-wise equality within tolerance eps.

@@ -60,14 +60,38 @@ func TestMatMulIntoWSMatchesFresh(t *testing.T) {
 	}
 }
 
-// TestMatMulIntoWSShortPanel verifies a too-short panel is replaced,
-// not overrun.
+// TestMatMulIntoWSShortPanel verifies an undersized non-nil panel
+// panics with the required length instead of being silently replaced —
+// a short workspace means the caller sized it for the wrong k, and a
+// hidden allocation would defeat the zero-alloc contract of the WS
+// entry points. nil still means "allocate for me".
 func TestMatMulIntoWSShortPanel(t *testing.T) {
 	r := prng.New(23)
 	a := sparseTensor(r, 9, 11)
 	b := sparseTensor(r, 11, 10)
 	want := MatMul(a, b)
+
 	got := New(9, 10)
-	MatMulIntoWS(got, a, b, make([]float32, 4))
-	bitIdentical(t, "MatMulIntoWS short panel", want, got)
+	MatMulIntoWS(got, a, b, nil)
+	bitIdentical(t, "MatMulIntoWS nil panel", want, got)
+
+	mustPanic(t, "MatMulIntoWS short panel", func() {
+		MatMulIntoWS(New(9, 10), a, b, make([]float32, 4))
+	})
+	mustPanic(t, "MatMulTransAIntoWS short scratch", func() {
+		MatMulTransAIntoWS(New(9, 10), a.Transpose(), b, make([]float32, 4))
+	})
+	mustPanic(t, "MatMulTransBIntoWS short panel", func() {
+		MatMulTransBIntoWS(New(9, 10), a, b.Transpose(), make([]float32, 4))
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
 }

@@ -75,6 +75,92 @@ func BenchmarkLinearBackward(b *testing.B) {
 	}
 }
 
+// benchSecureSetup builds the encrypted image and streaming engine for
+// the secure-forward benchmarks: VGG-16 at scale 0.25, SE ratio 50%.
+func benchSecureSetup(b *testing.B, batch int) (*SecureEngine, *Model, *tensor.Tensor) {
+	b.Helper()
+	rng := prng.New(21)
+	arch := models.VGG16Arch().Scale(0.25, 0)
+	m, err := models.Build(arch, rng.Fork())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewPlan(m, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := NewLayout(p, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := NewMemoryImage(l, m, []byte("0123456789abcdef"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewSecureEngine(img, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(batch, arch.InC, arch.InH, arch.InW)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return e, m, x
+}
+
+// BenchmarkSecureForward measures streamed secure inference against the
+// plaintext forward on the same model and batch: the sub-benchmark
+// ratio is the roofline gap the streaming engine is built to close.
+func BenchmarkSecureForward(b *testing.B) {
+	e, m, x := benchSecureSetup(b, 16)
+	b.Run("plaintext", func(b *testing.B) {
+		m.Forward(x, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Forward(x, false)
+		}
+	})
+	b.Run("secure", func(b *testing.B) {
+		e.Forward(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Forward(x)
+		}
+		st := e.Stats()
+		b.ReportMetric(float64(st.BytesDecrypted)/float64(st.Forwards)/1e6, "MBdec/op")
+	})
+}
+
+// BenchmarkDecryptRegion measures the bulk run-coalesced region decrypt
+// that feeds the streaming engine, over every weight region of the
+// benchmark model (mixed ciphertext/plaintext runs at ratio 50%).
+func BenchmarkDecryptRegion(b *testing.B) {
+	e, _, _ := benchSecureSetup(b, 1)
+	img := e.Image()
+	var total int64
+	var dst []byte
+	for _, lp := range img.Layout.Plan.Layers {
+		r := img.Layout.Region("w:" + lp.Name)
+		total += int64(r.Size)
+		if int(r.Size) > len(dst) {
+			dst = make([]byte, r.Size)
+		}
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lp := range img.Layout.Plan.Layers {
+			r := img.Layout.Region("w:" + lp.Name)
+			if _, err := img.DecryptRegionInto(r, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkTableI_EngineThroughput regenerates Table I: the published
 // AES engine design points and the simulated sustained throughput of
 // each under our engine timing model.

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"seal/internal/parallel"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// benchModelResult is one architecture's secure-vs-plaintext roofline
+// measurement.
+type benchModelResult struct {
+	Name                string  `json:"name"`
+	PlaintextNsPerOp    int64   `json:"plaintext_ns_per_op"`
+	SecureNsPerOp       int64   `json:"secure_ns_per_op"`
+	SecureOverPlaintext float64 `json:"secure_over_plaintext"`
+	// LogitsEqual is the bit-identity check between the streamed secure
+	// forward and the plaintext forward — exact equality, not a tolerance.
+	LogitsEqual       bool    `json:"logits_equal"`
+	Panels            int64   `json:"panels_per_forward"`
+	MBDecrypted       float64 `json:"mb_decrypted_per_forward"`
+	MBBypassed        float64 `json:"mb_bypassed_per_forward"`
+	DecryptGBPerSec   float64 `json:"decrypt_gb_per_sec"`
+	SecureAllocsPerOp int64   `json:"secure_allocs_per_op"`
+}
+
+// benchReport is the schema of BENCH_PR6.json.
+type benchReport struct {
+	Benchmark string             `json:"benchmark"`
+	Scale     float64            `json:"scale"`
+	Ratio     float64            `json:"ratio"`
+	Batch     int                `json:"batch"`
+	Workers   int                `json:"workers"`
+	Models    []benchModelResult `json:"models"`
+	// BestSecureOverPlaintext is the smallest per-model ratio — the
+	// headline roofline-gap number.
+	BestSecureOverPlaintext float64 `json:"best_secure_over_plaintext"`
+	LogitsAllEqual          bool    `json:"logits_all_equal"`
+	GoldenFile              string  `json:"golden_file,omitempty"`
+	GoldenMatch             *bool   `json:"golden_match,omitempty"`
+}
+
+// golden bounds the measured roofline gap: the check fails only when
+// every model exceeds the bound, so scheduler noise on one run cannot
+// flake the gate.
+type golden struct {
+	MaxSecureOverPlaintext float64 `json:"max_secure_over_plaintext"`
+}
+
+// benchModel measures one architecture: warm plaintext forward, warm
+// secure forward, bit-identity of the logits, and the standalone bulk
+// region-decrypt throughput.
+func benchModel(name string, scale, ratio float64, batch, panel int, seed uint64) (benchModelResult, error) {
+	e, m, arch, err := buildEngine(name, scale, ratio, panel, seed)
+	if err != nil {
+		return benchModelResult{}, err
+	}
+	rng := prng.New(seed + 1)
+	x := tensor.New(batch, arch.InC, arch.InH, arch.InW)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+
+	want := m.Forward(x, false)
+	wantCopy := make([]float32, len(want.Data))
+	copy(wantCopy, want.Data)
+	plain := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Forward(x, false)
+		}
+	})
+
+	e.Forward(x) // warm-up: builds every streaming workspace
+	e.ResetStats()
+	sec := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Forward(x)
+		}
+	})
+	st := e.Stats()
+	got := e.Forward(x)
+	equal := len(got.Data) == len(wantCopy)
+	if equal {
+		for i := range wantCopy {
+			if got.Data[i] != wantCopy[i] {
+				equal = false
+				break
+			}
+		}
+	}
+
+	img := e.Image()
+	var total int64
+	var dst []byte
+	for _, lp := range img.Layout.Plan.Layers {
+		r := img.Layout.Region("w:" + lp.Name)
+		total += int64(r.Size)
+		if int(r.Size) > len(dst) {
+			dst = make([]byte, r.Size)
+		}
+	}
+	dec := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			for _, lp := range img.Layout.Plan.Layers {
+				r := img.Layout.Region("w:" + lp.Name)
+				if _, err := img.DecryptRegionInto(r, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	forwards := st.Forwards
+	if forwards == 0 {
+		forwards = 1
+	}
+	return benchModelResult{
+		Name:                name,
+		PlaintextNsPerOp:    plain.NsPerOp(),
+		SecureNsPerOp:       sec.NsPerOp(),
+		SecureOverPlaintext: float64(sec.NsPerOp()) / float64(plain.NsPerOp()),
+		LogitsEqual:         equal,
+		Panels:              st.Panels / forwards,
+		MBDecrypted:         float64(st.BytesDecrypted) / float64(forwards) / 1e6,
+		MBBypassed:          float64(st.BytesCopied) / float64(forwards) / 1e6,
+		DecryptGBPerSec:     float64(total) / float64(dec.NsPerOp()),
+		SecureAllocsPerOp:   sec.AllocsPerOp(),
+	}, nil
+}
+
+// runBenchJSON measures every requested architecture, writes the report
+// and returns the process exit code: nonzero when any model's streamed
+// logits differ from the plaintext forward, or the golden bound fails.
+func runBenchJSON(out, goldenPath string, names []string, scale, ratio float64, batch, panel int, seed uint64) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "sealinfer: bench-json: %v\n", err)
+		return 1
+	}
+	rep := benchReport{
+		Benchmark:      "SecureForward",
+		Scale:          scale,
+		Ratio:          ratio,
+		Batch:          batch,
+		Workers:        parallel.Workers(),
+		LogitsAllEqual: true,
+	}
+	best := 0.0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		fmt.Fprintf(os.Stderr, "sealinfer: benchmarking %s (scale %.3g, ratio %.0f%%, batch %d)...\n", name, scale, ratio*100, batch)
+		r, err := benchModel(name, scale, ratio, batch, panel, seed)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Models = append(rep.Models, r)
+		if !r.LogitsEqual {
+			rep.LogitsAllEqual = false
+		}
+		if best == 0 || r.SecureOverPlaintext < best {
+			best = r.SecureOverPlaintext
+		}
+	}
+	rep.BestSecureOverPlaintext = best
+
+	code := 0
+	if !rep.LogitsAllEqual {
+		fmt.Fprintln(os.Stderr, "sealinfer: FAIL: streamed logits differ from the plaintext forward")
+		code = 1
+	}
+	if g, err := os.ReadFile(goldenPath); err == nil {
+		var want golden
+		if err := json.Unmarshal(g, &want); err != nil {
+			return fail(fmt.Errorf("parse %s: %w", goldenPath, err))
+		}
+		match := best <= want.MaxSecureOverPlaintext
+		rep.GoldenFile = goldenPath
+		rep.GoldenMatch = &match
+		if !match {
+			fmt.Fprintf(os.Stderr, "sealinfer: FAIL: best secure/plaintext ratio %.3f exceeds golden bound %.3f\n",
+				best, want.MaxSecureOverPlaintext)
+			code = 1
+		}
+	} else if goldenPath != "" {
+		fmt.Fprintf(os.Stderr, "sealinfer: note: golden file %s not found, skipping golden check\n", goldenPath)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fail(err)
+	}
+	for _, r := range rep.Models {
+		fmt.Printf("%s: plaintext %.1f ms/op, secure %.1f ms/op (%.3fx), decrypt %.2f GB/s, allocs/op %d, logits_equal=%v\n",
+			r.Name, float64(r.PlaintextNsPerOp)/1e6, float64(r.SecureNsPerOp)/1e6,
+			r.SecureOverPlaintext, r.DecryptGBPerSec, r.SecureAllocsPerOp, r.LogitsEqual)
+	}
+	fmt.Printf("wrote %s: best secure/plaintext %.3fx, logits_all_equal=%v\n", out, best, rep.LogitsAllEqual)
+	return code
+}

@@ -1,0 +1,144 @@
+// Command sealinfer runs streamed secure inference: a model's forward
+// pass computed directly from the encrypted memory image, with per-layer
+// weight panels decrypted on the fly and overlapped with the GEMMs.
+// It reports the wall-clock gap between the secure and plaintext
+// forward passes — the functional counterpart of the paper's claim that
+// smart encryption keeps the accelerator near its plaintext roofline.
+//
+// Usage:
+//
+//	sealinfer                          # VGG-16 and ResNet-18 summary
+//	sealinfer -model vgg16 -batch 32   # one model, custom batch
+//	sealinfer -ratio 1.0               # full encryption
+//	sealinfer -bench-json              # write BENCH_PR6.json and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"seal/internal/core"
+	"seal/internal/models"
+	"seal/internal/parallel"
+	"seal/internal/prng"
+	"seal/internal/secure"
+	"seal/internal/tensor"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "vgg16,resnet18", "comma-separated architectures: vgg16, resnet18, resnet34")
+		scale = flag.Float64("scale", 0.25, "channel-width multiplier applied to the architecture")
+		ratio = flag.Float64("ratio", 0.5, "SE encryption ratio")
+		batch = flag.Int("batch", 16, "inference batch size")
+		panel = flag.Int("panel", 0, "panel byte budget (0 = engine default)")
+		seed  = flag.Uint64("seed", 42, "weight-initialization seed")
+
+		benchJSON = flag.Bool("bench-json", false, "benchmark secure vs plaintext forward, verify bit-identical logits, write the JSON report and exit")
+		benchOut  = flag.String("bench-out", "BENCH_PR6.json", "output path for -bench-json")
+		goldenF   = flag.String("golden", "testdata/secure_golden.json", "golden bounds file for -bench-json (skipped if absent)")
+	)
+	flag.Parse()
+
+	names := strings.Split(*model, ",")
+	if *benchJSON {
+		os.Exit(runBenchJSON(*benchOut, *goldenF, names, *scale, *ratio, *batch, *panel, *seed))
+	}
+
+	for _, name := range names {
+		s, err := runOne(strings.TrimSpace(name), *scale, *ratio, *batch, *panel, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealinfer: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-9s scale %.3g ratio %.0f%% batch %d workers %d: plaintext %.1f ms, secure %.1f ms (%.3fx), %d panels, %.2f MB decrypted, %.2f MB bypassed, logits %s\n",
+			s.name, *scale, *ratio*100, *batch, parallel.Workers(),
+			s.plainMS, s.secureMS, s.secureMS/s.plainMS, s.stats.Panels,
+			float64(s.stats.BytesDecrypted)/1e6, float64(s.stats.BytesCopied)/1e6,
+			map[bool]string{true: "bit-identical", false: "MISMATCH"}[s.logitsEqual])
+		if !s.logitsEqual {
+			os.Exit(1)
+		}
+	}
+}
+
+type runSummary struct {
+	name        string
+	plainMS     float64
+	secureMS    float64
+	stats       secure.Stats
+	logitsEqual bool
+}
+
+// buildEngine constructs the model, SE plan, encrypted image and
+// streaming engine for one architecture.
+func buildEngine(name string, scale, ratio float64, panel int, seed uint64) (*secure.Engine, *models.Model, *models.Arch, error) {
+	arch, err := models.ArchByName(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	arch = arch.Scale(scale, 0)
+	m, err := models.Build(arch, prng.New(seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Ratio = ratio
+	p, err := core.NewPlan(m, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l, err := core.NewLayout(p, 1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	img, err := core.NewMemoryImage(l, m, []byte("sealinfer-key-16"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	e, err := secure.NewEngine(img, m, panel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return e, m, arch, nil
+}
+
+// runOne times one warm plaintext and one warm secure forward and
+// checks the logits agree bit for bit.
+func runOne(name string, scale, ratio float64, batch, panel int, seed uint64) (runSummary, error) {
+	e, m, arch, err := buildEngine(name, scale, ratio, panel, seed)
+	if err != nil {
+		return runSummary{}, err
+	}
+	rng := prng.New(seed + 1)
+	x := tensor.New(batch, arch.InC, arch.InH, arch.InW)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	m.Forward(x, false)
+	start := time.Now()
+	want := m.Forward(x, false)
+	plainMS := float64(time.Since(start).Microseconds()) / 1e3
+	wantCopy := make([]float32, len(want.Data))
+	copy(wantCopy, want.Data)
+
+	e.Forward(x)
+	e.ResetStats()
+	start = time.Now()
+	got := e.Forward(x)
+	secureMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	equal := len(got.Data) == len(wantCopy)
+	if equal {
+		for i := range wantCopy {
+			if got.Data[i] != wantCopy[i] {
+				equal = false
+				break
+			}
+		}
+	}
+	return runSummary{name: name, plainMS: plainMS, secureMS: secureMS, stats: e.Stats(), logitsEqual: equal}, nil
+}

@@ -83,31 +83,94 @@ func (ct *CTR) XORKeyStream(dst, src []byte, lineAddr, counter uint64) {
 		panic("aes: XORKeyStream dst shorter than src")
 	}
 	nblk := (n + BlockSize - 1) / BlockSize
-	xor := func(lo, hi int) {
-		var in [BlockSize]byte
-		for blk := lo; blk < hi; blk++ {
-			ctrInput(&in, lineAddr, counter, blk)
-			off := blk * BlockSize
-			if off+BlockSize <= n {
-				s0 := binary.LittleEndian.Uint64(src[off : off+8])
-				s1 := binary.LittleEndian.Uint64(src[off+8 : off+16])
-				d := dst[off : off+BlockSize]
-				ct.c.Encrypt(d, in[:])
-				binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(d[0:8])^s0)
-				binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(d[8:16])^s1)
-			} else {
-				var out [BlockSize]byte
-				ct.c.Encrypt(out[:], in[:])
-				for i := off; i < n; i++ {
-					dst[i] = src[i] ^ out[i-off]
-				}
+	// Short streams (every per-cache-line call) go through a plain method
+	// call: no closure value is built, so the serial read path stays
+	// allocation-free.
+	if nblk <= ctrGrainBlocks {
+		ct.xorBlocks(dst, src, lineAddr, counter, n, 0, nblk)
+		return
+	}
+	parallel.For(nblk, ctrGrainBlocks, func(lo, hi int) {
+		ct.xorBlocks(dst, src, lineAddr, counter, n, lo, hi)
+	})
+}
+
+// xorBlocks fuses pad generation and XOR for keystream blocks [lo, hi)
+// of an n-byte stream under one line address.
+func (ct *CTR) xorBlocks(dst, src []byte, lineAddr, counter uint64, n, lo, hi int) {
+	var in [BlockSize]byte
+	for blk := lo; blk < hi; blk++ {
+		ctrInput(&in, lineAddr, counter, blk)
+		off := blk * BlockSize
+		if off+BlockSize <= n {
+			s0 := binary.LittleEndian.Uint64(src[off : off+8])
+			s1 := binary.LittleEndian.Uint64(src[off+8 : off+16])
+			d := dst[off : off+BlockSize]
+			ct.c.Encrypt(d, in[:])
+			binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(d[0:8])^s0)
+			binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(d[8:16])^s1)
+		} else {
+			var out [BlockSize]byte
+			ct.c.Encrypt(out[:], in[:])
+			for i := off; i < n; i++ {
+				dst[i] = src[i] ^ out[i-off]
 			}
 		}
 	}
-	if nblk <= ctrGrainBlocks {
-		xor(0, nblk)
-	} else {
-		parallel.For(nblk, ctrGrainBlocks, xor)
+}
+
+// XORKeyStreamLines applies the per-line counter-mode keystream to a
+// run of consecutive whole memory lines: line i of src (lineBytes bytes
+// starting at offset i*lineBytes) is XORed with the pad for line address
+// baseAddr + i*lineBytes under the shared write counter, exactly as
+// len(src)/lineBytes separate XORKeyStream calls would produce — the
+// block-index field restarts at every line boundary. The difference is
+// dispatch: the whole run is one flat block range split across the
+// worker pool, so bulk region decryption pays one fan-out instead of
+// one per 64-byte line. len(src) must be a multiple of lineBytes and
+// lineBytes a multiple of the AES block size; dst and src may alias
+// exactly. The operation is an involution (encrypt == decrypt).
+func (ct *CTR) XORKeyStreamLines(dst, src []byte, baseAddr, counter uint64, lineBytes int) {
+	n := len(src)
+	if len(dst) < n {
+		panic("aes: XORKeyStreamLines dst shorter than src")
+	}
+	if lineBytes <= 0 || lineBytes%BlockSize != 0 {
+		panic("aes: XORKeyStreamLines lineBytes must be a positive multiple of the block size")
+	}
+	if n%lineBytes != 0 {
+		panic("aes: XORKeyStreamLines src must be whole lines")
+	}
+	nblk := n / BlockSize
+	bpl := lineBytes / BlockSize
+	// Workers()==1 and short runs take the direct call: no closure, no
+	// allocation — the streaming engine's serial decrypt path stays
+	// zero-alloc.
+	if nblk <= ctrGrainBlocks || parallel.Workers() == 1 {
+		ct.xorLineBlocks(dst, src, baseAddr, counter, uint64(lineBytes), bpl, 0, nblk)
+		return
+	}
+	parallel.For(nblk, ctrGrainBlocks, func(lo, hi int) {
+		ct.xorLineBlocks(dst, src, baseAddr, counter, uint64(lineBytes), bpl, lo, hi)
+	})
+}
+
+// xorLineBlocks fuses pad generation and XOR for the global block range
+// [lo, hi) of a whole-line run: block b lives in line b/bpl at
+// intra-line index b%bpl. Every block is full (whole lines only), so
+// there is no partial-block tail path.
+func (ct *CTR) xorLineBlocks(dst, src []byte, baseAddr, counter, lineBytes uint64, bpl, lo, hi int) {
+	var in [BlockSize]byte
+	for blk := lo; blk < hi; blk++ {
+		line := blk / bpl
+		ctrInput(&in, baseAddr+uint64(line)*lineBytes, counter, blk%bpl)
+		off := blk * BlockSize
+		s0 := binary.LittleEndian.Uint64(src[off : off+8])
+		s1 := binary.LittleEndian.Uint64(src[off+8 : off+16])
+		d := dst[off : off+BlockSize]
+		ct.c.Encrypt(d, in[:])
+		binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(d[0:8])^s0)
+		binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(d[8:16])^s1)
 	}
 }
 

@@ -1,0 +1,90 @@
+package aes
+
+import (
+	"bytes"
+	"testing"
+
+	"seal/internal/parallel"
+)
+
+// TestXORKeyStreamLinesMatchesPerLine checks the contract the streaming
+// decrypt path depends on: one bulk call over a run of lines produces
+// exactly the bytes of a per-line XORKeyStream loop, because the block
+// index restarts at every line boundary.
+func TestXORKeyStreamLinesMatchesPerLine(t *testing.T) {
+	c, err := New(bytes.Repeat([]byte{0x4c}, KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := NewCTR(c)
+	const lineBytes = 64
+	for _, lines := range []int{1, 2, 3, 17, ctrGrainBlocks} {
+		n := lines * lineBytes
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*11 + lines)
+		}
+		want := make([]byte, n)
+		for l := 0; l < lines; l++ {
+			off := l * lineBytes
+			ct.XORKeyStream(want[off:off+lineBytes], src[off:off+lineBytes], 0x4000+uint64(off), 7)
+		}
+		got := make([]byte, n)
+		ct.XORKeyStreamLines(got, src, 0x4000, 7, lineBytes)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("lines=%d: bulk keystream differs from per-line loop", lines)
+		}
+	}
+}
+
+// TestXORKeyStreamLinesParallelDeterministic checks serial/parallel
+// bit-identity, involution, and exact-aliasing safety of the bulk path.
+func TestXORKeyStreamLinesParallelDeterministic(t *testing.T) {
+	c, err := New(bytes.Repeat([]byte{0x91}, KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := NewCTR(c)
+	const lineBytes = 64
+	n := (ctrGrainBlocks*3 + 4) * BlockSize * (lineBytes / BlockSize)
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i * 13)
+	}
+	prev := parallel.SetWorkers(1)
+	serial := make([]byte, n)
+	ct.XORKeyStreamLines(serial, src, 0x8000, 3, lineBytes)
+	parallel.SetWorkers(8)
+	par := make([]byte, n)
+	ct.XORKeyStreamLines(par, src, 0x8000, 3, lineBytes)
+	back := append([]byte(nil), par...)
+	ct.XORKeyStreamLines(back, back, 0x8000, 3, lineBytes) // exact aliasing
+	parallel.SetWorkers(prev)
+	if !bytes.Equal(serial, par) {
+		t.Fatal("parallel XORKeyStreamLines differs from serial")
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("XORKeyStreamLines is not an involution under aliasing")
+	}
+}
+
+func TestXORKeyStreamLinesPanics(t *testing.T) {
+	c, err := New(bytes.Repeat([]byte{0x10}, KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := NewCTR(c)
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	buf := make([]byte, 128)
+	expectPanic("partial line", func() { ct.XORKeyStreamLines(buf, buf[:96], 0, 1, 64) })
+	expectPanic("bad lineBytes", func() { ct.XORKeyStreamLines(buf, buf, 0, 1, 24) })
+	expectPanic("short dst", func() { ct.XORKeyStreamLines(buf[:64], buf, 0, 1, 64) })
+}

@@ -21,6 +21,13 @@ type MemoryImage struct {
 	// counters holds the per-line write counter used for the one-time
 	// pads (a fresh image has counter 1 everywhere: one write).
 	counter uint64
+	// lineScratch stages one decrypted/snooped line for ReadWeight and
+	// Snoop, so the per-weight read path performs no allocations. It
+	// makes those two methods non-reentrant: an image must not serve
+	// concurrent ReadWeight/Snoop calls (DecryptRegionInto and the
+	// streaming engine do not use it and remain safe to parallelize
+	// internally).
+	lineScratch [LineBytes]byte
 }
 
 // NewMemoryImage lays the model's weights into the layout's regions and
@@ -99,14 +106,17 @@ func (img *MemoryImage) encryptMarked() {
 
 // Snoop returns the 64-byte line a bus snooper sees at addr (ciphertext
 // where the plan encrypts, plaintext elsewhere). It returns nil for
-// addresses outside the layout.
+// addresses outside the layout. The returned slice aliases an internal
+// scratch line: it is valid only until the image's next Snoop or
+// ReadWeight, and Snoop must not be called concurrently on one image —
+// callers that retain or compare lines across calls must copy first.
 func (img *MemoryImage) Snoop(addr uint64) []byte {
 	r := img.Layout.find(addr)
 	if r == nil {
 		return nil
 	}
 	line := (addr - r.Base) / LineBytes * LineBytes
-	out := make([]byte, LineBytes)
+	out := img.lineScratch[:]
 	copy(out, img.bytes[r.Base][line:line+LineBytes])
 	return out
 }
@@ -114,6 +124,9 @@ func (img *MemoryImage) Snoop(addr uint64) []byte {
 // ReadWeight decrypts (as the on-chip memory controller would) and
 // returns the weight value for (layer, outIdx, inChannel, k). k indexes
 // within the K×K kernel for CONV layers and must be 0 for FC layers.
+// The decrypted line is staged in an internal scratch, so ReadWeight
+// allocates nothing but must not run concurrently with itself or Snoop
+// on the same image.
 func (img *MemoryImage) ReadWeight(layerIdx, outIdx, inChannel, k int) (float32, error) {
 	lp := img.Layout.Plan.Layers[layerIdx]
 	r := img.Layout.Region("w:" + lp.Name)
@@ -128,13 +141,68 @@ func (img *MemoryImage) ReadWeight(layerIdx, outIdx, inChannel, k int) (float32,
 		off = uint64(inChannel)*r.BlockBytes + uint64(outIdx)*4
 	}
 	lineOff := off / LineBytes * LineBytes
-	line := make([]byte, LineBytes)
+	line := img.lineScratch[:]
 	copy(line, img.bytes[r.Base][lineOff:lineOff+LineBytes])
 	if r.Encrypted(off) {
 		img.ctr.XORKeyStream(line, line, r.Base+lineOff, img.counter)
 	}
 	bits := binary.LittleEndian.Uint32(line[off-lineOff:])
 	return math.Float32frombits(bits), nil
+}
+
+// DecryptRangeInto decrypts the region byte range [off, off+len(dst))
+// into dst, exactly as the memory controller's read path would: maximal
+// runs of ciphertext lines take one wide counter-mode keystream call
+// (parallel across the worker pool for long runs), maximal plaintext
+// runs are a straight copy, with no per-line dispatch anywhere. off and
+// len(dst) must be multiples of LineBytes and lie inside the region. It
+// returns the number of ciphertext bytes decrypted (the AES-engine
+// traffic of the read, as opposed to bypass traffic).
+//
+// The decrypt is out-of-place (src region bytes → dst), so no staging
+// scratch is needed and the image's backing store is never modified;
+// the method is safe to call concurrently with itself and with the
+// streaming engine, but not with Snoop/ReadWeight on the same image.
+func (img *MemoryImage) DecryptRangeInto(r *Region, off uint64, dst []byte) (int, error) {
+	if r == nil {
+		return 0, fmt.Errorf("core: DecryptRangeInto: nil region")
+	}
+	n := uint64(len(dst))
+	if off%LineBytes != 0 || n%LineBytes != 0 {
+		return 0, fmt.Errorf("core: DecryptRangeInto: range [%d, +%d) of %s not line-aligned", off, n, r.Name)
+	}
+	if off+n > r.Size {
+		return 0, fmt.Errorf("core: DecryptRangeInto: range [%d, +%d) beyond %s size %d", off, n, r.Name, r.Size)
+	}
+	src := img.bytes[r.Base]
+	end := off + n
+	encBytes := 0
+	for cur := off; cur < end; {
+		re := r.runEnd(cur, end)
+		s := src[cur:re]
+		d := dst[cur-off : re-off]
+		if r.Encrypted(cur) {
+			img.ctr.XORKeyStreamLines(d, s, r.Base+cur, img.counter, LineBytes)
+			encBytes += int(re - cur)
+		} else {
+			copy(d, s)
+		}
+		cur = re
+	}
+	return encBytes, nil
+}
+
+// DecryptRegionInto decrypts a whole region into dst (which must hold
+// at least r.Size bytes) via DecryptRangeInto — the bulk primitive the
+// streaming inference engine and Audit are built on.
+func (img *MemoryImage) DecryptRegionInto(r *Region, dst []byte) (int, error) {
+	if r == nil {
+		return 0, fmt.Errorf("core: DecryptRegionInto: nil region")
+	}
+	if uint64(len(dst)) < r.Size {
+		return 0, fmt.Errorf("core: DecryptRegionInto: dst len %d short of %s size %d", len(dst), r.Name, r.Size)
+	}
+	return img.DecryptRangeInto(r, 0, dst[:r.Size])
 }
 
 // SnoopWeight returns the value an adversary reconstructs for the same
@@ -172,8 +240,14 @@ type SnoopReport struct {
 // bit-exactly, and every encrypted-row weight must decrypt correctly
 // with the key while differing on the bus. It is both the functional
 // correctness check of the EMalloc path and the leak accounting.
+//
+// Each layer is one DecryptRegionInto (run-coalesced wide CTR) followed
+// by an in-memory compare against the model and the raw bus bytes — the
+// historical per-weight line-decrypt loop cost O(weights) keystream
+// calls for the same answer.
 func (img *MemoryImage) Audit(m *models.Model) ([]SnoopReport, error) {
 	var reports []SnoopReport
+	var dec []byte // decrypted-region staging, grown to the largest layer
 	for i, lp := range img.Layout.Plan.Layers {
 		w := m.WeightLayers[i]
 		spec := w.Spec
@@ -181,6 +255,18 @@ func (img *MemoryImage) Audit(m *models.Model) ([]SnoopReport, error) {
 		if spec.Kind == models.KindFC {
 			kk = 1
 		}
+		r := img.Layout.Region("w:" + lp.Name)
+		if r == nil {
+			return nil, fmt.Errorf("core: missing weights region for %s", lp.Name)
+		}
+		if uint64(cap(dec)) < r.Size {
+			dec = make([]byte, r.Size)
+		}
+		dec = dec[:r.Size]
+		if _, err := img.DecryptRegionInto(r, dec); err != nil {
+			return nil, err
+		}
+		raw := img.bytes[r.Base]
 		rep := SnoopReport{Layer: lp.Name}
 		var mismatchEnc bool
 		for c, enc := range lp.EncRows {
@@ -191,20 +277,16 @@ func (img *MemoryImage) Audit(m *models.Model) ([]SnoopReport, error) {
 				rep.WeightsLeaked += int64(spec.OutC * kk)
 			}
 			rep.WeightsTotal += int64(spec.OutC * kk)
+			base := uint64(c) * r.BlockBytes
 			for o := 0; o < spec.OutC; o++ {
 				for k := 0; k < kk; k++ {
 					truth := weightAt(w, o, c, k)
-					dec, err := img.ReadWeight(i, o, c, k)
-					if err != nil {
-						return nil, err
+					off := base + uint64(o*kk+k)*4
+					decv := math.Float32frombits(binary.LittleEndian.Uint32(dec[off:]))
+					if decv != truth {
+						return nil, fmt.Errorf("core: %s (%d,%d,%d) decrypts to %v, want %v", lp.Name, o, c, k, decv, truth)
 					}
-					if dec != truth {
-						return nil, fmt.Errorf("core: %s (%d,%d,%d) decrypts to %v, want %v", lp.Name, o, c, k, dec, truth)
-					}
-					snooped, err := img.SnoopWeight(i, o, c, k)
-					if err != nil {
-						return nil, err
-					}
+					snooped := math.Float32frombits(binary.LittleEndian.Uint32(raw[off:]))
 					if !enc && snooped != truth {
 						return nil, fmt.Errorf("core: %s plaintext row %d not bus-recoverable", lp.Name, c)
 					}

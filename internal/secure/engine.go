@@ -1,0 +1,596 @@
+// Package secure runs a planned model's forward pass directly from the
+// encrypted MemoryImage — the functional counterpart of the paper's
+// claim that smart encryption keeps an accelerator near its plaintext
+// roofline. Weights never exist as a whole decrypted tensor: each
+// conv/FC layer's weight region is decrypted panel by panel (a panel is
+// the block of kernel rows one GEMM tile consumes, a whole number of
+// the region's line-aligned kernel-row blocks, so Region.Encrypted
+// decides per line what is ciphertext), and counter-mode decryption of
+// panel k+1 overlaps GEMM consumption of panel k on the shared worker
+// pool. Because CTR pad generation needs only addresses, decrypt and
+// compute touch disjoint buffers and the overlap is race-free by
+// construction; with one worker the engine degrades to a strict
+// decode-then-consume loop that is allocation-free when warm.
+//
+// Bit-identity with the plaintext nn forward is load-bearing: every
+// panel GEMM continues each output element's ascending-p float32
+// accumulation chain from its stored value (see tensor.MatMulPanelAccWS),
+// so streamed logits equal plaintext logits bit for bit at every pool
+// width — the equivalence tests pin this.
+//
+// Only kernel weights live in the image (that is what EMalloc lays
+// out); biases and BatchNorm parameters come from the plaintext model,
+// matching the paper's threat model where SE protects the weight
+// tensors on the memory bus.
+package secure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"seal/internal/core"
+	"seal/internal/models"
+	"seal/internal/nn"
+	"seal/internal/parallel"
+	"seal/internal/tensor"
+)
+
+// DefaultPanelBytes is the target ciphertext bytes decrypted per panel
+// when NewEngine is given no explicit size: large enough that the wide
+// CTR call and the GEMM both amortize their dispatch, small enough that
+// double-buffered panels of the deepest VGG/ResNet layers stay in cache.
+const DefaultPanelBytes = 256 << 10
+
+// Stats counts the engine's memory-side work since the last reset.
+type Stats struct {
+	Forwards       int64 // completed Forward calls
+	Panels         int64 // weight panels staged
+	BytesDecrypted int64 // ciphertext bytes through the CTR keystream
+	BytesCopied    int64 // plaintext weight bytes that bypassed AES
+}
+
+// step is one stage of the streamed forward pass: exactly one of mod
+// (plaintext passthrough: BN, activation, pooling, flatten), conv, fc
+// or blk is set.
+type step struct {
+	mod  nn.Module
+	conv *convStep
+	fc   *fcStep
+	blk  *blockStep
+}
+
+// convStep streams one convolution layer from its weight region.
+type convStep struct {
+	layer  *nn.Conv2D
+	region *core.Region
+	kk     int // KH*KW: kernel-matrix columns per input channel
+	cpp    int // channels (kernel-row blocks) per panel
+	panels int
+	out    *tensor.Tensor // engine-owned [N, OutC, OutH, OutW]
+}
+
+// fcStep streams one fully-connected layer from its weight region.
+type fcStep struct {
+	layer  *nn.Linear
+	region *core.Region
+	cpp    int // input features per panel
+	panels int
+	out    *tensor.Tensor // engine-owned [N, Out]
+}
+
+// blockStep streams a residual block: its convolutions run from the
+// image, its BN/ReLU stages and the fused sum+ReLU run exactly as the
+// plaintext block does.
+type blockStep struct {
+	b            *nn.ResidualBlock
+	conv1, conv2 *convStep
+	shortcut     *convStep // nil for identity shortcuts
+	out          *tensor.Tensor
+}
+
+// Engine executes a model's inference forward pass with every conv/FC
+// weight read through the encrypted MemoryImage. It owns all streaming
+// workspaces, so a warm Forward at pool width 1 performs no heap
+// allocations; returned tensors are owned by the engine (or, for
+// passthrough stages, by the model's modules) and valid until the next
+// Forward. An Engine is not safe for concurrent Forward calls, and —
+// because it shares the model's BN/activation/pooling modules — must
+// not run concurrently with the model's own Forward either.
+type Engine struct {
+	img        *core.MemoryImage
+	model      *models.Model
+	panelBytes int
+	steps      []step
+
+	// per-batch-item headers and im2col storage, grown on batch change
+	batch   int
+	colsBuf [][]float32
+	colsHdr []*tensor.Tensor
+	imgHdr  []*tensor.Tensor
+	outHdr  []*tensor.Tensor
+
+	// double-buffered weight panels: decode writes wbuf[1-cur] while the
+	// GEMMs read wbuf[cur]; byteBuf stages the decrypted region bytes and
+	// is touched only by the (strictly serialized) decode tasks.
+	wbuf    [2][]float32
+	wHdr    [2]*tensor.Tensor
+	byteBuf []byte
+
+	// per-chunk GEMM packing scratch for the item-parallel conv consume
+	scratch [][]float32
+
+	maxColsFloats    int
+	maxPanelFloats   int
+	maxPanelBytes    int
+	maxScratchFloats int
+
+	stats Stats
+}
+
+// NewEngine builds a streaming engine over an encrypted image and the
+// model whose plan produced it. panelBytes bounds the bytes decrypted
+// per panel (0 → DefaultPanelBytes); every panel is a whole number of
+// kernel-row blocks, so it is always line-aligned. The model supplies
+// network structure, biases and BN statistics — its conv/FC kernel
+// weights are never read by the engine.
+func NewEngine(img *core.MemoryImage, m *models.Model, panelBytes int) (*Engine, error) {
+	if panelBytes <= 0 {
+		panelBytes = DefaultPanelBytes
+	}
+	layers := img.Layout.Plan.Layers
+	if len(m.WeightLayers) != len(layers) {
+		return nil, fmt.Errorf("secure: model has %d weight layers, image plan %d", len(m.WeightLayers), len(layers))
+	}
+	convRegion := make(map[*nn.Conv2D]*core.Region, len(layers))
+	fcRegion := make(map[*nn.Linear]*core.Region, len(layers))
+	for i, lp := range layers {
+		w := m.WeightLayers[i]
+		if w.Name != lp.Name {
+			return nil, fmt.Errorf("secure: weight layer %d is %s, plan has %s", i, w.Name, lp.Name)
+		}
+		r := img.Layout.Region("w:" + lp.Name)
+		if r == nil {
+			return nil, fmt.Errorf("secure: missing weights region for %s", lp.Name)
+		}
+		if w.Conv != nil {
+			convRegion[w.Conv] = r
+		} else {
+			fcRegion[w.FC] = r
+		}
+	}
+	e := &Engine{img: img, model: m, panelBytes: panelBytes}
+	matched := 0
+	newConv := func(c *nn.Conv2D) (*convStep, error) {
+		r, ok := convRegion[c]
+		if !ok {
+			return nil, fmt.Errorf("secure: conv %s has no weights region", c.Name)
+		}
+		matched++
+		return e.addConvStep(c, r), nil
+	}
+	for _, mod := range m.Net.Modules {
+		switch v := mod.(type) {
+		case *nn.Conv2D:
+			cs, err := newConv(v)
+			if err != nil {
+				return nil, err
+			}
+			e.steps = append(e.steps, step{conv: cs})
+		case *nn.Linear:
+			r, ok := fcRegion[v]
+			if !ok {
+				return nil, fmt.Errorf("secure: linear %s has no weights region", v.Name)
+			}
+			matched++
+			e.steps = append(e.steps, step{fc: e.addFCStep(v, r)})
+		case *nn.ResidualBlock:
+			bs := &blockStep{b: v}
+			var err error
+			if bs.conv1, err = newConv(v.Conv1); err != nil {
+				return nil, err
+			}
+			if bs.conv2, err = newConv(v.Conv2); err != nil {
+				return nil, err
+			}
+			if v.Shortcut != nil {
+				if bs.shortcut, err = newConv(v.Shortcut); err != nil {
+					return nil, err
+				}
+			}
+			e.steps = append(e.steps, step{blk: bs})
+		default:
+			// BN, activations, pooling, flatten: plaintext passthrough —
+			// they carry no EMalloc'd weights.
+			e.steps = append(e.steps, step{mod: mod})
+		}
+	}
+	if matched != len(layers) {
+		return nil, fmt.Errorf("secure: matched %d of %d weight layers in the network", matched, len(layers))
+	}
+	e.wbuf[0] = make([]float32, e.maxPanelFloats)
+	e.wbuf[1] = make([]float32, e.maxPanelFloats)
+	e.wHdr[0] = &tensor.Tensor{}
+	e.wHdr[1] = &tensor.Tensor{}
+	e.byteBuf = make([]byte, e.maxPanelBytes)
+	return e, nil
+}
+
+// addConvStep registers a streamed convolution and folds its buffer
+// needs into the engine maxima.
+func (e *Engine) addConvStep(c *nn.Conv2D, r *core.Region) *convStep {
+	g := c.Geom
+	kk := g.KH * g.KW
+	cs := &convStep{layer: c, region: r, kk: kk}
+	cs.cpp, cs.panels = panelSplit(e.panelBytes, int(r.BlockBytes), g.InC)
+	ncols := g.OutH() * g.OutW()
+	e.grow(&e.maxColsFloats, g.InC*kk*ncols)
+	e.grow(&e.maxPanelFloats, c.OutC*cs.cpp*kk)
+	e.grow(&e.maxPanelBytes, cs.cpp*int(r.BlockBytes))
+	e.grow(&e.maxScratchFloats, tensor.MatMulPanelLen(cs.cpp*kk))
+	return cs
+}
+
+// addFCStep registers a streamed fully-connected layer.
+func (e *Engine) addFCStep(l *nn.Linear, r *core.Region) *fcStep {
+	fs := &fcStep{layer: l, region: r}
+	fs.cpp, fs.panels = panelSplit(e.panelBytes, int(r.BlockBytes), l.In)
+	e.grow(&e.maxPanelFloats, l.Out*fs.cpp)
+	e.grow(&e.maxPanelBytes, fs.cpp*int(r.BlockBytes))
+	return fs
+}
+
+func (e *Engine) grow(max *int, n int) {
+	if n > *max {
+		*max = n
+	}
+}
+
+// panelSplit sizes panels for a region: as many whole kernel-row blocks
+// as fit the byte budget, at least one.
+func panelSplit(panelBytes, blockBytes, blocks int) (cpp, panels int) {
+	cpp = panelBytes / blockBytes
+	if cpp < 1 {
+		cpp = 1
+	}
+	if cpp > blocks {
+		cpp = blocks
+	}
+	return cpp, (blocks + cpp - 1) / cpp
+}
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Image returns the encrypted memory image the engine streams from.
+func (e *Engine) Image() *core.MemoryImage { return e.img }
+
+// Model returns the model supplying structure, biases and BN state.
+func (e *Engine) Model() *models.Model { return e.model }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// PanelBytes returns the configured panel byte budget.
+func (e *Engine) PanelBytes() int { return e.panelBytes }
+
+// Forward runs the streamed secure forward pass on a batch
+// [N, C, H, W] and returns the logits, bit-identical to
+// model.Forward(x, false). The returned tensor is valid until the next
+// Forward.
+func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
+	e.ensureBatch(x.Dim(0))
+	for i := range e.steps {
+		s := &e.steps[i]
+		switch {
+		case s.conv != nil:
+			x = e.runConv(s.conv, x)
+		case s.fc != nil:
+			x = e.runFC(s.fc, x)
+		case s.blk != nil:
+			x = e.runBlock(s.blk, x)
+		default:
+			x = s.mod.Forward(x, false)
+		}
+	}
+	e.stats.Forwards++
+	return x
+}
+
+// ensureBatch grows the per-item header/storage pools to n items and
+// the per-chunk scratch pool to the current fan-out width. Warm calls
+// with a stable batch and pool width allocate nothing.
+func (e *Engine) ensureBatch(n int) {
+	for len(e.colsBuf) < n {
+		e.colsBuf = append(e.colsBuf, make([]float32, e.maxColsFloats))
+		e.colsHdr = append(e.colsHdr, &tensor.Tensor{})
+		e.imgHdr = append(e.imgHdr, &tensor.Tensor{})
+		e.outHdr = append(e.outHdr, &tensor.Tensor{})
+	}
+	e.batch = n
+	chunks := parallel.Workers()
+	if chunks > n {
+		chunks = n
+	}
+	for len(e.scratch) < chunks {
+		e.scratch = append(e.scratch, make([]float32, e.maxScratchFloats))
+	}
+}
+
+// runConv streams one convolution: im2col of the whole batch (overlapped
+// with the first panel's decrypt), then for each panel the decrypt of
+// the next one overlapped with the batch GEMM-accumulate of the current
+// one, then the bias pass. Per-element float order matches
+// Conv2D.forwardInfer exactly: the panel GEMMs reproduce MatMulIntoWS's
+// accumulation chain and the bias adds after the full sum, as there.
+func (e *Engine) runConv(cs *convStep, x *tensor.Tensor) *tensor.Tensor {
+	c := cs.layer
+	g := c.Geom
+	n := x.Dim(0)
+	oh, ow := g.OutH(), g.OutW()
+	ncols := oh * ow
+	kkTot := g.InC * cs.kk
+	perIn := g.InC * g.InH * g.InW
+	perOut := c.OutC * ncols
+	out := ensure4(&cs.out, n, c.OutC, oh, ow)
+	for i := 0; i < n; i++ {
+		aim3(e.imgHdr[i], x.Data[i*perIn:(i+1)*perIn], g.InC, g.InH, g.InW)
+		aim2(e.colsHdr[i], e.colsBuf[i][:kkTot*ncols], kkTot, ncols)
+		aim2(e.outHdr[i], out.Data[i*perOut:(i+1)*perOut], c.OutC, ncols)
+	}
+	if parallel.Workers() == 1 {
+		// Strict serial path: no closures, no goroutines, no allocations.
+		for i := 0; i < n; i++ {
+			tensor.Im2ColInto(e.colsHdr[i], e.imgHdr[i], g)
+		}
+		for t := 0; t < cs.panels; t++ {
+			e.decodeConvPanel(cs, t, 0)
+			e.consumeConvRange(cs, t, 0, 0, n, e.scratch[0])
+		}
+	} else {
+		// Stage the whole batch's im2col while panel 0 decrypts, then
+		// pipeline: decode(t+1) on a spawned worker, consume(t) inline.
+		parallel.Do(
+			func() { e.im2colAll(cs, n) },
+			func() { e.decodeConvPanel(cs, 0, 0) },
+		)
+		for t := 0; t < cs.panels; t++ {
+			t := t
+			cur := t & 1
+			if t+1 < cs.panels {
+				parallel.Do(
+					func() { e.decodeConvPanel(cs, t+1, cur^1) },
+					func() { e.consumeConv(cs, t, cur, n) },
+				)
+			} else {
+				e.consumeConv(cs, t, cur, n)
+			}
+		}
+	}
+	if c.UseBias {
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.W.Data[oc]
+				base := (i*c.OutC + oc) * ncols
+				for j := 0; j < ncols; j++ {
+					out.Data[base+j] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// im2colAll expands every batch item into its cols buffer, sharding
+// items across the pool (each item's Im2ColInto may fan out further
+// over channels; the semaphore keeps nesting bounded).
+func (e *Engine) im2colAll(cs *convStep, n int) {
+	g := cs.layer.Geom
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tensor.Im2ColInto(e.colsHdr[i], e.imgHdr[i], g)
+		}
+	})
+}
+
+// consumeConv folds panel t into every item's output matrix, items
+// sharded across the pool with one packing scratch per chunk.
+func (e *Engine) consumeConv(cs *convStep, t, parity, n int) {
+	chunks := parallel.Workers()
+	if chunks > n {
+		chunks = n
+	}
+	if chunks == 1 {
+		e.consumeConvRange(cs, t, parity, 0, n, e.scratch[0])
+		return
+	}
+	grain := (n + chunks - 1) / chunks
+	parallel.For(n, grain, func(lo, hi int) {
+		e.consumeConvRange(cs, t, parity, lo, hi, e.scratch[lo/grain])
+	})
+}
+
+func (e *Engine) consumeConvRange(cs *convStep, t, parity, lo, hi int, scratch []float32) {
+	p0 := t * cs.cpp * cs.kk
+	acc := t > 0
+	for i := lo; i < hi; i++ {
+		tensor.MatMulPanelAccWS(e.outHdr[i], e.wHdr[parity], e.colsHdr[i], p0, acc, scratch)
+	}
+}
+
+// decodeConvPanel decrypts panel t's kernel-row blocks with one
+// run-coalesced DecryptRangeInto and repacks the layout's
+// [channel][out][k] bytes into the GEMM's [out][channel-k] panel
+// matrix. Decode tasks are strictly serialized by the pipeline, so the
+// byte staging buffer is shared; only wbuf[parity] crosses into the
+// concurrent consume.
+func (e *Engine) decodeConvPanel(cs *convStep, t, parity int) {
+	r := cs.region
+	c0 := t * cs.cpp
+	c1 := c0 + cs.cpp
+	if c1 > cs.layer.Geom.InC {
+		c1 = cs.layer.Geom.InC
+	}
+	buf := e.stagePanel(r, c0, c1)
+	kp := (c1 - c0) * cs.kk
+	outC := cs.layer.OutC
+	w := e.wbuf[parity][:outC*kp]
+	bb := int(r.BlockBytes)
+	for c := c0; c < c1; c++ {
+		blk := buf[(c-c0)*bb:]
+		col0 := (c - c0) * cs.kk
+		for o := 0; o < outC; o++ {
+			dst := w[o*kp+col0 : o*kp+col0+cs.kk]
+			src := blk[o*cs.kk*4:]
+			for k := range dst {
+				dst[k] = math.Float32frombits(binary.LittleEndian.Uint32(src[k*4:]))
+			}
+		}
+	}
+	aim2(e.wHdr[parity], w, outC, kp)
+}
+
+// stagePanel bulk-decrypts blocks [c0, c1) of a weight region into the
+// shared byte staging buffer and accounts the traffic split.
+func (e *Engine) stagePanel(r *core.Region, c0, c1 int) []byte {
+	nb := uint64(c1-c0) * r.BlockBytes
+	buf := e.byteBuf[:nb]
+	enc, err := e.img.DecryptRangeInto(r, uint64(c0)*r.BlockBytes, buf)
+	if err != nil {
+		// Geometry is validated at construction; a failure here is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+	e.stats.BytesDecrypted += int64(enc)
+	e.stats.BytesCopied += int64(nb) - int64(enc)
+	e.stats.Panels++
+	return buf
+}
+
+// runFC streams one fully-connected layer with the same pipeline shape
+// as runConv; the panel GEMM reproduces MatMulTransBIntoWS's
+// per-element order (ascending p, no zero skip) and the bias pass
+// matches Linear.Forward.
+func (e *Engine) runFC(fs *fcStep, x *tensor.Tensor) *tensor.Tensor {
+	l := fs.layer
+	n := x.Dim(0)
+	out := ensure2(&fs.out, n, l.Out)
+	if parallel.Workers() == 1 {
+		for t := 0; t < fs.panels; t++ {
+			e.decodeFCPanel(fs, t, 0)
+			tensor.MatMulTransBPanelAccWS(out, x, t*fs.cpp, e.wHdr[0], t > 0)
+		}
+	} else {
+		e.decodeFCPanel(fs, 0, 0)
+		for t := 0; t < fs.panels; t++ {
+			t := t
+			cur := t & 1
+			if t+1 < fs.panels {
+				parallel.Do(
+					func() { e.decodeFCPanel(fs, t+1, cur^1) },
+					func() { tensor.MatMulTransBPanelAccWS(out, x, t*fs.cpp, e.wHdr[cur], t > 0) },
+				)
+			} else {
+				tensor.MatMulTransBPanelAccWS(out, x, t*fs.cpp, e.wHdr[cur], t > 0)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	return out
+}
+
+// decodeFCPanel decrypts input-feature blocks [t*cpp, ...) and repacks
+// the layout's [feature][out] bytes into the [out][feature] panel the
+// transposed-B GEMM consumes.
+func (e *Engine) decodeFCPanel(fs *fcStep, t, parity int) {
+	r := fs.region
+	c0 := t * fs.cpp
+	c1 := c0 + fs.cpp
+	if c1 > fs.layer.In {
+		c1 = fs.layer.In
+	}
+	buf := e.stagePanel(r, c0, c1)
+	kp := c1 - c0
+	outC := fs.layer.Out
+	w := e.wbuf[parity][:outC*kp]
+	bb := int(r.BlockBytes)
+	for c := c0; c < c1; c++ {
+		blk := buf[(c-c0)*bb:]
+		col := c - c0
+		for o := 0; o < outC; o++ {
+			w[o*kp+col] = math.Float32frombits(binary.LittleEndian.Uint32(blk[o*4:]))
+		}
+	}
+	aim2(e.wHdr[parity], w, outC, kp)
+}
+
+// runBlock streams a residual block in the plaintext block's exact
+// evaluation order: full main path, then shortcut, then the fused
+// sum+ReLU into an engine-owned buffer.
+func (e *Engine) runBlock(bs *blockStep, x *tensor.Tensor) *tensor.Tensor {
+	b := bs.b
+	main := e.runConv(bs.conv1, x)
+	main = b.BN1.Forward(main, false)
+	main = b.Relu1.Forward(main, false)
+	main = e.runConv(bs.conv2, main)
+	main = b.BN2.Forward(main, false)
+	short := x
+	if bs.shortcut != nil {
+		short = e.runConv(bs.shortcut, x)
+		short = b.ShortcutBN.Forward(short, false)
+	}
+	out := ensure4(&bs.out, main.Shape[0], main.Shape[1], main.Shape[2], main.Shape[3])
+	for i := range out.Data {
+		v := main.Data[i] + short.Data[i]
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// ensure2/ensure4 are ensureShaped for engine-owned outputs, written
+// without variadics so the warm path builds no shape slices.
+func ensure2(ws **tensor.Tensor, a, b int) *tensor.Tensor {
+	t := *ws
+	if t == nil || len(t.Data) != a*b {
+		t = tensor.New(a, b)
+		*ws = t
+		return t
+	}
+	t.Shape = t.Shape[:0]
+	t.Shape = append(t.Shape, a, b)
+	return t
+}
+
+func ensure4(ws **tensor.Tensor, a, b, c, d int) *tensor.Tensor {
+	t := *ws
+	if t == nil || len(t.Data) != a*b*c*d {
+		t = tensor.New(a, b, c, d)
+		*ws = t
+		return t
+	}
+	t.Shape = t.Shape[:0]
+	t.Shape = append(t.Shape, a, b, c, d)
+	return t
+}
+
+// aim2/aim3 re-point a reusable tensor header at a storage slice.
+func aim2(t *tensor.Tensor, data []float32, a, b int) {
+	t.Data = data
+	t.Shape = t.Shape[:0]
+	t.Shape = append(t.Shape, a, b)
+}
+
+func aim3(t *tensor.Tensor, data []float32, a, b, c int) {
+	t.Data = data
+	t.Shape = t.Shape[:0]
+	t.Shape = append(t.Shape, a, b, c)
+}

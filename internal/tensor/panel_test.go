@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"testing"
+
+	"seal/internal/parallel"
+	"seal/internal/prng"
+)
+
+func randTensorWithZeros(r *prng.Source, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		v := float32(r.NormFloat64())
+		// plant exact zeros so the av==0 skip path is exercised
+		if r.Float64() < 0.15 {
+			v = 0
+		}
+		t.Data[i] = v
+	}
+	return t
+}
+
+// packCols copies columns [p0, p1) of a into a fresh [m, p1-p0] panel,
+// the layout the streaming engine produces from decrypted weight bytes.
+func packCols(a *Tensor, p0, p1 int) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	p := New(m, p1-p0)
+	for i := 0; i < m; i++ {
+		copy(p.Data[i*(p1-p0):(i+1)*(p1-p0)], a.Data[i*k+p0:i*k+p1])
+	}
+	return p
+}
+
+// TestMatMulPanelAccBitIdentical checks that accumulating a k-split in
+// ascending panels reproduces the one-shot MatMulIntoWS bit for bit, at
+// several split geometries and shapes (including remainder-column paths)
+// and at both pool widths.
+func TestMatMulPanelAccBitIdentical(t *testing.T) {
+	r := prng.New(11)
+	shapes := []struct{ m, k, n int }{
+		{8, 36, 64},   // conv-like, n multiple of 8
+		{13, 27, 37},  // all remainder paths
+		{4, 90, 100},  // narrow m
+		{64, 72, 256}, // big enough to cross minParallelOps
+	}
+	splits := []int{1, 5, 9, 1 << 30}
+	for _, sh := range shapes {
+		a := randTensorWithZeros(r, sh.m, sh.k)
+		b := randTensorWithZeros(r, sh.k, sh.n)
+		want := New(sh.m, sh.n)
+		MatMulIntoWS(want, a, b, nil)
+		for _, step := range splits {
+			for _, workers := range []int{1, 8} {
+				prev := parallel.SetWorkers(workers)
+				got := New(sh.m, sh.n)
+				got.Fill(999) // panel 0 must fully overwrite
+				for p0 := 0; p0 < sh.k; {
+					p1 := p0 + step
+					if p1 > sh.k || p1 < 0 {
+						p1 = sh.k
+					}
+					MatMulPanelAccWS(got, packCols(a, p0, p1), b, p0, p0 > 0, nil)
+					p0 = p1
+				}
+				parallel.SetWorkers(prev)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("shape %+v step %d workers %d: element %d = %v, want %v",
+							sh, step, workers, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulTransBPanelAccBitIdentical is the FC-side counterpart:
+// ascending panels over A's columns (= B's columns) must reproduce
+// MatMulTransBIntoWS bit for bit.
+func TestMatMulTransBPanelAccBitIdentical(t *testing.T) {
+	r := prng.New(23)
+	shapes := []struct{ m, k, n int }{
+		{1, 48, 10},  // batch-1 logits
+		{16, 33, 40}, // odd k and n
+		{16, 512, 64},
+	}
+	for _, sh := range shapes {
+		a := randTensorWithZeros(r, sh.m, sh.k)
+		b := randTensorWithZeros(r, sh.n, sh.k)
+		want := New(sh.m, sh.n)
+		MatMulTransBIntoWS(want, a, b, nil)
+		for _, step := range []int{1, 7, 1 << 30} {
+			for _, workers := range []int{1, 8} {
+				prev := parallel.SetWorkers(workers)
+				got := New(sh.m, sh.n)
+				got.Fill(-999)
+				for p0 := 0; p0 < sh.k; {
+					p1 := p0 + step
+					if p1 > sh.k || p1 < 0 {
+						p1 = sh.k
+					}
+					MatMulTransBPanelAccWS(got, a, p0, packCols(b, p0, p1), p0 > 0)
+					p0 = p1
+				}
+				parallel.SetWorkers(prev)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("shape %+v step %d workers %d: element %d = %v, want %v",
+							sh, step, workers, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulPanelAccPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	a := New(2, 3)
+	b := New(8, 4)
+	c := New(2, 4)
+	expectPanic("panel beyond B", func() { MatMulPanelAccWS(c, a, b, 6, false, nil) })
+	expectPanic("short scratch", func() { MatMulPanelAccWS(c, a, b, 0, false, make([]float32, 1)) })
+	expectPanic("bad C shape", func() { MatMulPanelAccWS(New(3, 4), a, b, 0, false, nil) })
+	x := New(2, 8)
+	expectPanic("transB panel beyond A", func() { MatMulTransBPanelAccWS(c, x, 6, New(4, 3), false) })
+	expectPanic("transB bad C", func() { MatMulTransBPanelAccWS(New(9, 9), x, 0, New(4, 8), false) })
+}

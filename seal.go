@@ -44,6 +44,7 @@ import (
 	"seal/internal/gpu"
 	"seal/internal/models"
 	"seal/internal/prng"
+	"seal/internal/secure"
 	"seal/internal/trace"
 )
 
@@ -71,6 +72,11 @@ type (
 	// MemoryImage is the byte-accurate DRAM view of a planned network,
 	// with real AES-CTR on the plan's ciphertext blocks.
 	MemoryImage = core.MemoryImage
+	// SecureEngine streams a model's forward pass from the encrypted
+	// MemoryImage, overlapping panel decryption with GEMM compute.
+	SecureEngine = secure.Engine
+	// SecureStats counts a SecureEngine's memory-side work.
+	SecureStats = secure.Stats
 	// SimConfig describes the simulated GPU.
 	SimConfig = gpu.Config
 	// Sim is the GPU cycle simulator.
@@ -139,6 +145,14 @@ func NewLayout(p *Plan, batch int) (*Layout, error) { return core.NewLayout(p, b
 // exactly what a bus adversary captures).
 func NewMemoryImage(l *Layout, m *Model, key []byte) (*MemoryImage, error) {
 	return core.NewMemoryImage(l, m, key)
+}
+
+// NewSecureEngine builds a streaming secure-inference engine over an
+// encrypted image and the model whose plan produced it: Forward runs
+// inference with every conv/FC weight decrypted panel-by-panel from the
+// image, bit-identical to the plaintext forward pass.
+func NewSecureEngine(img *MemoryImage, m *Model) (*SecureEngine, error) {
+	return secure.NewEngine(img, m, 0)
 }
 
 // GTX480 returns the paper's simulated GPU configuration (15 SMs, six

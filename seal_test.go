@@ -2,6 +2,9 @@ package seal
 
 import (
 	"testing"
+
+	"seal/internal/prng"
+	"seal/internal/tensor"
 )
 
 func TestFacadeEndToEnd(t *testing.T) {
@@ -116,5 +119,47 @@ func TestFacadeMemoryImage(t *testing.T) {
 	}
 	if len(reports) == 0 {
 		t.Fatal("no audit reports")
+	}
+}
+
+func TestFacadeSecureEngine(t *testing.T) {
+	arch := VGG16().Scale(0.125, 0)
+	model, err := BuildModel(arch, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(model, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := NewLayout(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := NewMemoryImage(layout, model, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewSecureEngine(img, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, arch.InC, arch.InH, arch.InW)
+	rng := prng.New(8)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	want := model.Forward(x, false)
+	wantCopy := make([]float32, len(want.Data))
+	copy(wantCopy, want.Data)
+	got := eng.Forward(x)
+	for i := range wantCopy {
+		if got.Data[i] != wantCopy[i] {
+			t.Fatalf("secure logit %d = %v, want %v", i, got.Data[i], wantCopy[i])
+		}
+	}
+	var st SecureStats = eng.Stats()
+	if st.Forwards != 1 || st.BytesDecrypted == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
 	}
 }

@@ -93,7 +93,7 @@ func benchSecureSetup(b *testing.B, batch int) (*SecureEngine, *Model, *tensor.T
 	if err != nil {
 		b.Fatal(err)
 	}
-	img, err := NewMemoryImage(l, m, []byte("0123456789abcdef"))
+	img, err := NewMemoryImage(l, m, testImageKey)
 	if err != nil {
 		b.Fatal(err)
 	}

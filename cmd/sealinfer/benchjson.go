@@ -7,9 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"seal"
 	"seal/internal/parallel"
 	"seal/internal/prng"
-	"seal/internal/tensor"
 )
 
 // benchModelResult is one architecture's secure-vs-plaintext roofline
@@ -56,12 +56,13 @@ type golden struct {
 // secure forward, bit-identity of the logits, and the standalone bulk
 // region-decrypt throughput.
 func benchModel(name string, scale, ratio float64, batch, panel int, seed uint64) (benchModelResult, error) {
-	e, m, arch, err := buildEngine(name, scale, ratio, panel, seed)
+	p, err := buildPrepared(name, scale, ratio, panel, seed)
 	if err != nil {
 		return benchModelResult{}, err
 	}
+	e, m, arch := p.Engine(), p.Model(), p.Arch()
 	rng := prng.New(seed + 1)
-	x := tensor.New(batch, arch.InC, arch.InH, arch.InW)
+	x := seal.NewTensor(batch, arch.InC, arch.InH, arch.InW)
 	for i := range x.Data {
 		x.Data[i] = float32(rng.NormFloat64())
 	}

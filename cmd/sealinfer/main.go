@@ -20,12 +20,9 @@ import (
 	"strings"
 	"time"
 
-	"seal/internal/core"
-	"seal/internal/models"
+	"seal"
 	"seal/internal/parallel"
 	"seal/internal/prng"
-	"seal/internal/secure"
-	"seal/internal/tensor"
 )
 
 func main() {
@@ -69,52 +66,36 @@ type runSummary struct {
 	name        string
 	plainMS     float64
 	secureMS    float64
-	stats       secure.Stats
+	stats       seal.SecureStats
 	logitsEqual bool
 }
 
-// buildEngine constructs the model, SE plan, encrypted image and
-// streaming engine for one architecture.
-func buildEngine(name string, scale, ratio float64, panel int, seed uint64) (*secure.Engine, *models.Model, *models.Arch, error) {
-	arch, err := models.ArchByName(name)
+// buildPrepared bundles model, SE plan, encrypted image and streaming
+// engine for one architecture through the one-call Prepare API.
+func buildPrepared(name string, scale, ratio float64, panel int, seed uint64) (*seal.Prepared, error) {
+	arch, err := seal.ArchByName(name)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	arch = arch.Scale(scale, 0)
-	m, err := models.Build(arch, prng.New(seed))
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	opts := core.DefaultOptions()
+	opts := seal.DefaultOptions()
 	opts.Ratio = ratio
-	p, err := core.NewPlan(m, opts)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	l, err := core.NewLayout(p, 1)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	img, err := core.NewMemoryImage(l, m, []byte("sealinfer-key-16"))
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	e, err := secure.NewEngine(img, m, panel)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return e, m, arch, nil
+	return seal.Prepare(arch, seed,
+		seal.WithOptions(opts),
+		seal.WithKey(seal.KeyFromString("sealinfer sealing key")),
+		seal.WithPanelBytes(panel))
 }
 
 // runOne times one warm plaintext and one warm secure forward and
 // checks the logits agree bit for bit.
 func runOne(name string, scale, ratio float64, batch, panel int, seed uint64) (runSummary, error) {
-	e, m, arch, err := buildEngine(name, scale, ratio, panel, seed)
+	p, err := buildPrepared(name, scale, ratio, panel, seed)
 	if err != nil {
 		return runSummary{}, err
 	}
+	e, m, arch := p.Engine(), p.Model(), p.Arch()
 	rng := prng.New(seed + 1)
-	x := tensor.New(batch, arch.InC, arch.InH, arch.InW)
+	x := seal.NewTensor(batch, arch.InC, arch.InH, arch.InW)
 	for i := range x.Data {
 		x.Data[i] = float32(rng.NormFloat64())
 	}

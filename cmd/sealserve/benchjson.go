@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"seal"
+	"seal/internal/prng"
+	"seal/internal/serve"
+)
+
+// benchParams describes one closed-loop serving run.
+type benchParams struct {
+	arch     string
+	scale    float64
+	ratio    float64
+	seed     uint64
+	qps      float64
+	duration time.Duration
+	clients  int
+}
+
+// benchReport is the schema of BENCH_PR7.json.
+type benchReport struct {
+	Benchmark     string  `json:"benchmark"`
+	Arch          string  `json:"arch"`
+	Scale         float64 `json:"scale"`
+	Ratio         float64 `json:"ratio"`
+	Workers       int     `json:"workers"`
+	MaxBatch      int     `json:"max_batch"`
+	QueueDepth    int     `json:"queue_depth"`
+	BatchWindowMS float64 `json:"batch_window_ms"`
+	TargetQPS     float64 `json:"target_qps"`
+	DurationS     float64 `json:"duration_s"`
+	Clients       int     `json:"clients"`
+
+	Served         int64   `json:"served"`
+	Rejected429    int64   `json:"rejected_429"`
+	Errors         int64   `json:"errors"`
+	ThroughputQPS  float64 `json:"throughput_qps"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP95MS   float64 `json:"latency_p95_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	AvgBatch       float64 `json:"avg_batch"`
+	MaxBatchServed int64   `json:"max_batch_served"`
+	// LogitsAllEqual is the bit-identity gate: every served logit vector
+	// compared exactly against the local plaintext forward.
+	LogitsAllEqual bool  `json:"logits_all_equal"`
+	Mismatches     int64 `json:"mismatches"`
+}
+
+// clientTally accumulates one closed-loop client's observations; merged
+// after the run so the hot loop takes no locks.
+type clientTally struct {
+	latencies  []time.Duration
+	served     int64
+	rejected   int64
+	errors     int64
+	mismatches int64
+}
+
+// runBenchJSON stands up the gateway in-process behind a real HTTP
+// listener, registers one model through the API, then drives it with a
+// token-bucket-paced closed loop and reports latency percentiles,
+// throughput and the bit-identity verdict. Nonzero exit when any served
+// logit vector differs from the plaintext forward.
+func runBenchJSON(out string, cfg serve.Config, p benchParams) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "sealserve: bench-json: %v\n", err)
+		return 1
+	}
+	if p.clients < 1 {
+		p.clients = 1
+	}
+
+	gw := serve.New(cfg)
+	defer gw.Close()
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	// Register through the HTTP API so the bench exercises the same path
+	// as a real operator.
+	spec := serve.ModelSpec{Arch: p.arch, Scale: p.scale, Ratio: &p.ratio, Seed: p.seed}
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/tenants/bench/models/"+p.arch, bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	var info serve.RegisterInfo
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return fail(fmt.Errorf("register %s: status %d", p.arch, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		resp.Body.Close()
+		return fail(err)
+	}
+	resp.Body.Close()
+
+	// Local ground truth: the plaintext forward for the bench sample.
+	arch, err := seal.ArchByName(p.arch)
+	if err != nil {
+		return fail(err)
+	}
+	arch = arch.Scale(p.scale, 0)
+	m, err := seal.BuildModel(arch, p.seed)
+	if err != nil {
+		return fail(err)
+	}
+	rng := prng.New(p.seed + 1)
+	x := seal.NewTensor(1, arch.InC, arch.InH, arch.InW)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	wantT := m.Forward(x, false)
+	want := make([]byte, len(wantT.Data)*4)
+	for i, v := range wantT.Data {
+		binary.LittleEndian.PutUint32(want[i*4:], math.Float32bits(v))
+	}
+	raw := make([]byte, len(x.Data)*4)
+	for i, v := range x.Data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	reqBody, _ := json.Marshal(serve.InferRequest{Raw: raw})
+	url := ts.URL + "/v1/tenants/bench/models/" + p.arch + "/infer"
+
+	post := func() (status int, logits []byte, err error) {
+		resp, err := ts.Client().Post(url, "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, nil, nil
+		}
+		var ir serve.InferResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, ir.Raw, nil
+	}
+
+	// Warm every pooled engine's streaming workspaces before measuring.
+	for i := 0; i < 2*info.Workers; i++ {
+		if _, _, err := post(); err != nil {
+			return fail(fmt.Errorf("warmup: %w", err))
+		}
+	}
+
+	// Token bucket paced at the target rate; closed-loop clients block
+	// on it, so offered load never exceeds the target and a saturated
+	// server sheds the surplus as 429s rather than an unbounded queue.
+	tokens := make(chan struct{}, p.clients)
+	stop := make(chan struct{})
+	go func() {
+		interval := time.Duration(float64(time.Second) / p.qps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				select {
+				case tokens <- struct{}{}:
+				default: // clients saturated; drop the slot
+				}
+			}
+		}
+	}()
+
+	tallies := make([]clientTally, p.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < p.clients; c++ {
+		wg.Add(1)
+		go func(t *clientTally) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tokens:
+				}
+				t0 := time.Now()
+				status, logits, err := post()
+				switch {
+				case err != nil:
+					t.errors++
+				case status == http.StatusOK:
+					t.served++
+					t.latencies = append(t.latencies, time.Since(t0))
+					if !bytes.Equal(logits, want) {
+						t.mismatches++
+					}
+				case status == http.StatusTooManyRequests:
+					t.rejected++
+				default:
+					t.errors++
+				}
+			}
+		}(&tallies[c])
+	}
+	time.Sleep(p.duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	rep := benchReport{
+		Benchmark:     "SecureServe",
+		Arch:          p.arch,
+		Scale:         p.scale,
+		Ratio:         p.ratio,
+		Workers:       info.Workers,
+		MaxBatch:      cfg.MaxBatch,
+		QueueDepth:    cfg.QueueDepth,
+		BatchWindowMS: float64(cfg.BatchWindow.Microseconds()) / 1e3,
+		TargetQPS:     p.qps,
+		DurationS:     elapsed.Seconds(),
+		Clients:       p.clients,
+	}
+	for i := range tallies {
+		t := &tallies[i]
+		rep.Served += t.served
+		rep.Rejected429 += t.rejected
+		rep.Errors += t.errors
+		rep.Mismatches += t.mismatches
+		all = append(all, t.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(all)))
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		return float64(all[idx].Microseconds()) / 1e3
+	}
+	rep.LatencyP50MS = pct(0.50)
+	rep.LatencyP95MS = pct(0.95)
+	rep.LatencyP99MS = pct(0.99)
+	rep.ThroughputQPS = float64(rep.Served) / elapsed.Seconds()
+	for _, st := range gw.Registry().Stats() {
+		rep.AvgBatch = st.AvgBatch
+		rep.MaxBatchServed = st.MaxBatch
+	}
+	rep.LogitsAllEqual = rep.Served > 0 && rep.Mismatches == 0
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%s scale %.3g: served %d (%.1f QPS of %.1f target), rejected_429 %d, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, avg batch %.2f (max %d), logits_all_equal=%v\n",
+		p.arch, p.scale, rep.Served, rep.ThroughputQPS, p.qps, rep.Rejected429,
+		rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS, rep.AvgBatch, rep.MaxBatchServed, rep.LogitsAllEqual)
+	fmt.Printf("wrote %s\n", out)
+
+	if !rep.LogitsAllEqual {
+		fmt.Fprintln(os.Stderr, "sealserve: FAIL: served logits differ from the plaintext forward (or nothing was served)")
+		return 1
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "sealserve: FAIL: %d transport/unexpected-status errors\n", rep.Errors)
+		return 1
+	}
+	return 0
+}

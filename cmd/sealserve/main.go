@@ -1,0 +1,127 @@
+// Command sealserve is the multi-tenant encrypted-inference gateway: it
+// serves models prepared with seal.Prepare over HTTP, with each
+// tenant's weights sealed under a key derived from the gateway master
+// key. Requests are admitted through a bounded queue (full queue →
+// 429 + Retry-After), batched dynamically, and executed on a pool of
+// streaming secure engines per model, so clients send one sample per
+// request while the accelerator sees wide batches.
+//
+// Usage:
+//
+//	sealserve -addr :8080 -master-key "prod master"   # serve
+//	sealserve -preload vgg16,resnet18                 # pre-register models
+//	sealserve -bench-json                             # write BENCH_PR7.json and exit
+//
+// Endpoints:
+//
+//	GET    /healthz
+//	GET    /v1/models
+//	GET    /v1/stats
+//	PUT    /v1/tenants/{tenant}/models/{model}        register / hot-swap
+//	DELETE /v1/tenants/{tenant}/models/{model}        unregister
+//	POST   /v1/tenants/{tenant}/models/{model}/infer  one sample per request
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"seal"
+	"seal/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		masterKey = flag.String("master-key", "sealserve dev master key", "master passphrase; tenant keys are derived from it")
+		preload   = flag.String("preload", "", "comma-separated architectures to register at startup under tenant \"public\"")
+		scale     = flag.Float64("scale", 0.25, "channel-width multiplier for preloaded models")
+		ratio     = flag.Float64("ratio", 0.5, "SE encryption ratio for preloaded models")
+		seed      = flag.Uint64("seed", 42, "weight-initialization seed for preloaded models")
+
+		queue   = flag.Int("queue", serve.DefaultQueueDepth, "per-model admission queue depth")
+		maxB    = flag.Int("max-batch", serve.DefaultMaxBatch, "dynamic batch size cap")
+		window  = flag.Duration("batch-window", serve.DefaultBatchWindow, "how long the batcher waits to widen a batch")
+		workers = flag.Int("workers", 0, "secure engines per model (0 = size from SEAL_WORKERS/CPU)")
+
+		benchJSON = flag.Bool("bench-json", false, "run the closed-loop serving benchmark, write the JSON report and exit")
+		benchOut  = flag.String("bench-out", "BENCH_PR7.json", "output path for -bench-json")
+		qps       = flag.Float64("qps", 100, "target sustained request rate for -bench-json")
+		duration  = flag.Duration("duration", 3*time.Second, "measurement window for -bench-json")
+		clients   = flag.Int("clients", 16, "concurrent closed-loop clients for -bench-json")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		MasterKey:   seal.KeyFromString(*masterKey),
+		QueueDepth:  *queue,
+		MaxBatch:    *maxB,
+		BatchWindow: *window,
+		Workers:     *workers,
+	}
+
+	if *benchJSON {
+		os.Exit(runBenchJSON(*benchOut, cfg, benchParams{
+			arch: firstArch(*preload), scale: *scale, ratio: *ratio, seed: *seed,
+			qps: *qps, duration: *duration, clients: *clients,
+		}))
+	}
+
+	gw := serve.New(cfg)
+	for _, name := range splitList(*preload) {
+		spec := serve.ModelSpec{Arch: name, Scale: *scale, Ratio: ratio, Seed: *seed}
+		info, err := gw.Registry().Register("public", name, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealserve: preload %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("sealserve: registered public/%s (%s scale %.3g, %.0f%% weights encrypted, %d workers)\n",
+			name, info.Arch, info.Scale, info.WeightEncFraction*100, info.Workers)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "sealserve: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx) // stop accepting, drain HTTP
+		gw.Close()                    // then drain the engine pools
+	}()
+
+	fmt.Printf("sealserve: listening on %s (queue %d, max batch %d, window %s)\n",
+		*addr, *queue, *maxB, *window)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "sealserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// firstArch picks the benchmark architecture: the first preloaded name,
+// or vgg16.
+func firstArch(preload string) string {
+	if names := splitList(preload); len(names) > 0 {
+		return names[0]
+	}
+	return "vgg16"
+}

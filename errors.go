@@ -1,0 +1,20 @@
+package seal
+
+import "errors"
+
+// Sentinel errors of the façade. Every constructor and the serving
+// gateway wrap these with %w, so callers branch with errors.Is instead
+// of string matching — the HTTP gateway maps them straight to status
+// codes (ErrModelNotFound → 404, ErrBadKey / ErrUnknownArch → 400).
+var (
+	// ErrBadKey reports a sealing key that failed validation (wrong
+	// length for AES-128).
+	ErrBadKey = errors.New("seal: bad key")
+
+	// ErrUnknownArch reports an architecture name outside the zoo.
+	ErrUnknownArch = errors.New("seal: unknown architecture")
+
+	// ErrModelNotFound reports a registry lookup for a model that is not
+	// (or no longer) hosted.
+	ErrModelNotFound = errors.New("seal: model not found")
+)

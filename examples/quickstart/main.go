@@ -11,23 +11,24 @@ import (
 )
 
 func main() {
-	// 1. Build a model. Scale(0.25, 0) shrinks channel widths 4× so the
-	// example runs instantly; geometry and layer structure are untouched.
+	// 1. Prepare the whole pipeline in one call: model, smart-encryption
+	// plan, EMalloc layout, sealed memory image and streaming secure
+	// engine. Scale(0.25, 0) shrinks channel widths 4× so the example
+	// runs instantly; geometry and layer structure are untouched.
 	arch := seal.ResNet18().Scale(0.25, 0)
-	model, err := seal.BuildModel(arch, 42)
+	p, err := seal.Prepare(arch, 42,
+		seal.WithKey(seal.KeyFromString("quickstart demo key")))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("model: %s, %d weight layers, %d parameters\n",
 		arch.Name, arch.WeightLayerCount(), arch.TotalWeights())
 
-	// 2. Plan smart encryption at the paper's default 50% ratio: each
-	// layer's kernel rows are ranked by l1-norm and the most critical
-	// half is encrypted, along with the matching feature-map channels.
-	plan, err := seal.NewPlan(model, seal.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 2. Inspect the smart-encryption decision, made at the paper's
+	// default 50% ratio: each layer's kernel rows are ranked by l1-norm
+	// and the most critical half is encrypted, along with the matching
+	// feature-map channels.
+	plan := p.Plan()
 	if err := plan.Verify(); err != nil {
 		log.Fatal(err) // the SE security invariant must hold
 	}
@@ -36,16 +37,32 @@ func main() {
 		lp.Name, lp.EncRowCount(), len(lp.EncRows))
 	fmt.Printf("weights encrypted overall: %.1f%%\n", 100*plan.WeightEncFraction())
 
-	// 3. Materialize the EMalloc memory layout: every tensor gets a DRAM
-	// region with per-line ciphertext marking.
-	layout, err := seal.NewLayout(plan, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 3. The EMalloc memory layout: every tensor gets a DRAM region with
+	// per-line ciphertext marking, and the image's planned blocks hold
+	// real AES-CTR ciphertext under the sealing key.
+	layout := p.Layout()
 	fmt.Printf("address space: %d regions, %.1f%% ciphertext bytes\n",
 		len(layout.Regions()), 100*layout.EncryptedFraction())
 
-	// 4. Feel the bandwidth effect: stream the largest SE-planned weight
+	// 4. Run secure inference straight from the encrypted image: panels
+	// are decrypted on the fly, and the logits are bit-identical to the
+	// plaintext forward pass.
+	x := seal.NewTensor(1, arch.InC, arch.InH, arch.InW)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7)/7 - 0.5
+	}
+	logits := p.Forward(x)
+	plain := p.Model().Forward(x, false)
+	match := true
+	for i := range logits.Data {
+		if logits.Data[i] != plain.Data[i] {
+			match = false
+		}
+	}
+	fmt.Printf("secure forward: %d logits, bit-identical to plaintext: %v\n",
+		len(logits.Data), match)
+
+	// 5. Feel the bandwidth effect: stream the largest SE-planned weight
 	// region through the simulated GTX480 under three protections. (A
 	// boundary layer would show no SEAL benefit — its weights are fully
 	// encrypted by design.)

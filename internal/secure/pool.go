@@ -1,0 +1,92 @@
+package secure
+
+import "fmt"
+
+// Pool is a fixed set of interchangeable streaming engines over one
+// sealed image. An Engine is single-flight (its workspaces and its
+// model's modules are stateful), so concurrent serving needs one engine
+// per in-flight forward; engines over the same image share only the
+// image's decrypt path, which is concurrency-safe. Pool is the
+// checkout discipline: Acquire blocks until an engine is free, Release
+// returns it, and Drain reclaims every engine — the hot-swap barrier
+// that proves all in-flight work on a retired deployment has finished.
+type Pool struct {
+	engines chan *Engine
+	size    int
+}
+
+// NewPool builds a pool owning the given engines. Every engine must be
+// non-nil; they are all immediately available.
+func NewPool(engines ...*Engine) (*Pool, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("secure: NewPool needs at least one engine")
+	}
+	p := &Pool{engines: make(chan *Engine, len(engines)), size: len(engines)}
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("secure: NewPool engine %d is nil", i)
+		}
+		p.engines <- e
+	}
+	return p, nil
+}
+
+// Size returns the number of engines the pool owns.
+func (p *Pool) Size() int { return p.size }
+
+// Idle returns the number of engines currently checked in.
+func (p *Pool) Idle() int { return len(p.engines) }
+
+// Acquire checks out an engine, blocking until one is free.
+func (p *Pool) Acquire() *Engine { return <-p.engines }
+
+// TryAcquire checks out an engine without blocking.
+func (p *Pool) TryAcquire() (*Engine, bool) {
+	select {
+	case e := <-p.engines:
+		return e, true
+	default:
+		return nil, false
+	}
+}
+
+// Release checks an engine back in. Releasing more engines than were
+// acquired is a programming error and panics (the channel would block).
+func (p *Pool) Release(e *Engine) {
+	if e == nil {
+		panic("secure: Pool.Release(nil)")
+	}
+	select {
+	case p.engines <- e:
+	default:
+		panic("secure: Pool.Release without matching Acquire")
+	}
+}
+
+// Drain checks out every engine, blocking until all in-flight work has
+// released them, and returns the full set. After Drain the pool is
+// empty: a retiring deployment calls it once and then drops the pool.
+func (p *Pool) Drain() []*Engine {
+	out := make([]*Engine, p.size)
+	for i := range out {
+		out[i] = <-p.engines
+	}
+	return out
+}
+
+// Stats sums the counters of every idle engine. Call after Drain (or
+// while the pool is quiescent) for a complete, race-free total.
+func (p *Pool) Stats() Stats {
+	var sum Stats
+	n := len(p.engines)
+	for i := 0; i < n; i++ {
+		e := <-p.engines
+		st := e.Stats()
+		sum.Forwards += st.Forwards
+		sum.Panels += st.Panels
+		sum.BytesDecrypted += st.BytesDecrypted
+		sum.BytesCopied += st.BytesCopied
+		p.engines <- e
+	}
+	return sum
+}

@@ -1,0 +1,121 @@
+package secure
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := NewPool(&Engine{}, nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}
+
+func TestPoolCheckoutDiscipline(t *testing.T) {
+	a, b := &Engine{}, &Engine{}
+	p, err := NewPool(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 || p.Idle() != 2 {
+		t.Fatalf("size %d idle %d, want 2 2", p.Size(), p.Idle())
+	}
+	e1 := p.Acquire()
+	e2, ok := p.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed with one engine idle")
+	}
+	if e1 == e2 {
+		t.Fatal("same engine checked out twice")
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded on an empty pool")
+	}
+	if p.Idle() != 0 {
+		t.Fatalf("idle %d, want 0", p.Idle())
+	}
+	p.Release(e2)
+	p.Release(e1)
+	if p.Idle() != 2 {
+		t.Fatalf("idle %d after releases, want 2", p.Idle())
+	}
+}
+
+func TestPoolReleasePanics(t *testing.T) {
+	p, err := NewPool(&Engine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Release(nil)", func() { p.Release(nil) })
+	mustPanic("over-release", func() { p.Release(&Engine{}) })
+}
+
+// TestPoolDrainWaitsForInflight pins the hot-swap barrier: Drain must
+// not return until every checked-out engine has been released.
+func TestPoolDrainWaitsForInflight(t *testing.T) {
+	engines := []*Engine{{}, {}, {}}
+	p, err := NewPool(engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inflight sync.WaitGroup
+	var released atomic.Int32
+	for i := 0; i < 3; i++ {
+		e := p.Acquire()
+		inflight.Add(1)
+		go func(e *Engine) {
+			defer inflight.Done()
+			released.Add(1)
+			p.Release(e)
+		}(e)
+	}
+	got := p.Drain()
+	if n := released.Load(); n != 3 {
+		t.Fatalf("Drain returned with %d/3 engines released", n)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Drain returned %d engines, want 3", len(got))
+	}
+	seen := map[*Engine]bool{}
+	for _, e := range got {
+		seen[e] = true
+	}
+	for i, e := range engines {
+		if !seen[e] {
+			t.Fatalf("engine %d missing from Drain result", i)
+		}
+	}
+	inflight.Wait()
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("pool not empty after Drain")
+	}
+}
+
+func TestPoolStatsSums(t *testing.T) {
+	a := &Engine{stats: Stats{Forwards: 2, Panels: 3, BytesDecrypted: 10, BytesCopied: 1}}
+	b := &Engine{stats: Stats{Forwards: 1, Panels: 1, BytesDecrypted: 5, BytesCopied: 2}}
+	p, err := NewPool(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := p.Stats()
+	want := Stats{Forwards: 3, Panels: 4, BytesDecrypted: 15, BytesCopied: 3}
+	if sum != want {
+		t.Fatalf("Stats() = %+v, want %+v", sum, want)
+	}
+	if p.Idle() != 2 {
+		t.Fatal("Stats consumed engines")
+	}
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seal"
+	"seal/internal/secure"
+)
+
+// Admission errors. The HTTP layer maps these to status codes with
+// errors.Is (429 and 503); they are exported so load drivers can branch
+// on them too.
+var (
+	// ErrQueueFull reports that the model's bounded request queue had no
+	// free slot — the backpressure signal.
+	ErrQueueFull = errors.New("serve: request queue full")
+
+	// ErrShuttingDown reports an admission attempt against a model (or
+	// registry) that is draining for shutdown.
+	ErrShuttingDown = errors.New("serve: shutting down")
+
+	// ErrBadInput reports a malformed inference request (wrong input
+	// length, undecodable body).
+	ErrBadInput = errors.New("serve: bad input")
+)
+
+// deployment is one immutable generation of a hosted model: the
+// Prepared bundle (plan, layout, image sealed under the tenant's
+// sub-key) plus a pool of streaming engines over that image. Hot-swap
+// replaces the whole deployment atomically; in-flight batches keep
+// their deployment alive until they release its engines.
+type deployment struct {
+	spec     ModelSpec
+	gen      int64
+	prep     *seal.Prepared
+	pool     *secure.Pool
+	inC      int
+	inH      int
+	inW      int
+	inputLen int // inC*inH*inW floats per sample
+}
+
+// pending is one admitted inference request waiting for its batch. The
+// response channel is buffered so the batch runner never blocks on a
+// departed client.
+type pending struct {
+	input []float32
+	resp  chan result
+}
+
+type result struct {
+	logits []float32 // caller-owned copy of this sample's logits row
+	gen    int64
+	batch  int
+	err    error
+}
+
+// modelStats are the per-model serving counters, updated atomically on
+// the hot path and snapshotted by the stats endpoint.
+type modelStats struct {
+	requests atomic.Int64
+	rejected atomic.Int64
+	batches  atomic.Int64
+	items    atomic.Int64
+	maxBatch atomic.Int64
+	swaps    atomic.Int64
+}
+
+// hostedModel is one registry entry: a bounded admission queue, a
+// batcher goroutine that assembles dynamic batches, and the current
+// deployment. The admission path takes only an RLock and a non-blocking
+// channel send; everything slow happens on the batcher side.
+type hostedModel struct {
+	tenant string
+	name   string
+	cfg    Config
+
+	queue chan *pending
+	quit  chan struct{}
+
+	// mu orders admissions against stop() and serializes installs: an
+	// admission holds RLock while it checks stopped and enqueues, so
+	// once stop() has set stopped under Lock and closed quit, the queue
+	// can only shrink and the batcher's final drain leaves nothing
+	// unanswered.
+	mu      sync.RWMutex
+	stopped bool
+	gen     int64 // last assigned generation, guarded by mu
+
+	dep     atomic.Pointer[deployment]
+	batcher sync.WaitGroup // the collect loop
+	running sync.WaitGroup // in-flight batch executions
+	retired sync.WaitGroup // background drains of swapped-out deployments
+
+	stats modelStats
+}
+
+func newHostedModel(tenant, name string, cfg Config) *hostedModel {
+	return &hostedModel{
+		tenant: tenant,
+		name:   name,
+		cfg:    cfg,
+		queue:  make(chan *pending, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+	}
+}
+
+// install makes dep the model's current deployment and returns its
+// generation. The first install starts the batcher; later installs are
+// hot-swaps: the old deployment keeps serving its in-flight batches and
+// is drained in the background once they release its engines.
+func (h *hostedModel) install(dep *deployment) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stopped {
+		return 0, ErrShuttingDown
+	}
+	h.gen++
+	dep.gen = h.gen
+	old := h.dep.Swap(dep)
+	if old == nil {
+		h.batcher.Add(1)
+		go h.loop()
+		return dep.gen, nil
+	}
+	h.stats.swaps.Add(1)
+	h.retired.Add(1)
+	go func() {
+		defer h.retired.Done()
+		old.pool.Drain()
+	}()
+	return dep.gen, nil
+}
+
+// admit enqueues one sample for batching, or fails fast with
+// ErrQueueFull / ErrShuttingDown. The input length is validated against
+// the current deployment (and re-checked by the batch runner, since a
+// hot-swap can change shapes between admission and execution).
+func (h *hostedModel) admit(input []float32) (*pending, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.stopped {
+		return nil, ErrShuttingDown
+	}
+	h.stats.requests.Add(1)
+	if want := h.dep.Load().inputLen; len(input) != want {
+		return nil, fmt.Errorf("%w: input length %d, want %d", ErrBadInput, len(input), want)
+	}
+	p := &pending{input: input, resp: make(chan result, 1)}
+	select {
+	case h.queue <- p:
+		return p, nil
+	default:
+		h.stats.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// stop drains the model completely: no new admissions, queued requests
+// answered with ErrShuttingDown, every in-flight batch finished, every
+// deployment's engine pool reclaimed.
+func (h *hostedModel) stop() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.stopped = true
+	started := h.dep.Load() != nil
+	h.mu.Unlock()
+	close(h.quit)
+	h.batcher.Wait()
+	h.running.Wait()
+	h.retired.Wait()
+	if started {
+		h.dep.Load().pool.Drain()
+	}
+}
+
+// loop is the batcher: it blocks for the first queued request, widens
+// it into a dynamic batch, and hands the batch to a worker engine. The
+// engine Acquire is the backpressure valve — when every worker is busy
+// the loop blocks here, the queue fills, and admissions start returning
+// ErrQueueFull.
+func (h *hostedModel) loop() {
+	defer h.batcher.Done()
+	for {
+		select {
+		case p := <-h.queue:
+			h.dispatch(p)
+		case <-h.quit:
+			for {
+				select {
+				case p := <-h.queue:
+					p.resp <- result{err: ErrShuttingDown}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (h *hostedModel) dispatch(first *pending) {
+	batch := h.collect(first)
+	dep := h.dep.Load()
+	eng := dep.pool.Acquire()
+	h.running.Add(1)
+	go h.run(dep, eng, batch)
+}
+
+// collect widens a batch: after the first request it keeps taking from
+// the queue until the batch cap or the batching window is hit. A full
+// queue therefore drains MaxBatch-at-a-time with no window wait.
+func (h *hostedModel) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	max := h.cfg.MaxBatch
+	if max <= 1 {
+		return batch
+	}
+	// Fast path: take whatever is already queued before arming a timer.
+	for len(batch) < max {
+		select {
+		case p := <-h.queue:
+			batch = append(batch, p)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) == max || h.cfg.BatchWindow <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(h.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < max {
+		select {
+		case p := <-h.queue:
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		case <-h.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// run executes one batch on a checked-out engine and fans the logits
+// rows back to their requests. It owns the engine until every row has
+// been copied out (engine outputs are valid only until its next
+// Forward), then releases it — which is also what lets a retired
+// deployment's Drain complete.
+func (h *hostedModel) run(dep *deployment, eng *secure.Engine, batch []*pending) {
+	defer h.running.Done()
+	defer dep.pool.Release(eng)
+	n := len(batch)
+	x := seal.NewTensor(n, dep.inC, dep.inH, dep.inW)
+	ok := 0
+	for i, p := range batch {
+		if len(p.input) != dep.inputLen {
+			// The deployment changed shape between admission and now.
+			p.resp <- result{err: fmt.Errorf("%w: input length %d no longer matches deployment (hot-swap changed the architecture)", ErrBadInput, len(p.input))}
+			batch[i] = nil
+			continue
+		}
+		copy(x.Data[i*dep.inputLen:(i+1)*dep.inputLen], p.input)
+		ok++
+	}
+	if ok == 0 {
+		return
+	}
+	logits := eng.Forward(x)
+	per := len(logits.Data) / n
+	h.stats.batches.Add(1)
+	h.stats.items.Add(int64(ok))
+	for {
+		cur := h.stats.maxBatch.Load()
+		if int64(n) <= cur || h.stats.maxBatch.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	for i, p := range batch {
+		if p == nil {
+			continue
+		}
+		out := make([]float32, per)
+		copy(out, logits.Data[i*per:(i+1)*per])
+		p.resp <- result{logits: out, gen: dep.gen, batch: n}
+	}
+}

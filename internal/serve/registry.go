@@ -1,0 +1,317 @@
+// Package serve is the encrypted-inference serving gateway: a
+// multi-tenant registry of Prepared model bundles behind a stdlib
+// net/http API. Each registered model is built once — plan, EMalloc
+// layout, AES-CTR-sealed memory image, and a pool of streaming
+// secure-inference engines — and then serves requests admitted through
+// a bounded queue (429 + Retry-After on overflow) and dynamically
+// batched up to a configurable window/size. Every tenant's images are
+// sealed under a sub-key derived from the gateway master key
+// (seal.Key.DeriveSubKey), so no two tenants ever share keystream;
+// hot-swapping a model builds the new deployment off the request path
+// and swaps it atomically while the old one drains.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"seal"
+	"seal/internal/secure"
+)
+
+// ModelSpec is the client-supplied description of a model to host. The
+// gateway builds everything else (weights, plan, sealed image) from it
+// deterministically, so registering the same spec twice produces
+// bit-identical deployments.
+type ModelSpec struct {
+	// Arch names a zoo architecture: vgg16, resnet18, resnet34.
+	Arch string `json:"arch"`
+	// Scale multiplies channel widths (0 means 1.0 — full width).
+	Scale float64 `json:"scale,omitempty"`
+	// Ratio overrides the SE encryption ratio; nil keeps the paper's 0.5.
+	Ratio *float64 `json:"ratio,omitempty"`
+	// Seed drives the deterministic weight initialization.
+	Seed uint64 `json:"seed"`
+	// PanelBytes overrides the streaming engines' panel budget (0 keeps
+	// the engine default).
+	PanelBytes int `json:"panel_bytes,omitempty"`
+}
+
+// RegisterInfo summarizes a successful (re-)registration.
+type RegisterInfo struct {
+	Model             string  `json:"model"`
+	Gen               int64   `json:"gen"`
+	Arch              string  `json:"arch"`
+	Scale             float64 `json:"scale"`
+	Ratio             float64 `json:"ratio"`
+	Seed              uint64  `json:"seed"`
+	Workers           int     `json:"workers"`
+	InputLen          int     `json:"input_len"`
+	Classes           int     `json:"classes"`
+	WeightEncFraction float64 `json:"weight_enc_fraction"`
+	ImageEncFraction  float64 `json:"image_enc_fraction"`
+}
+
+// ModelInfo is one row of the model listing.
+type ModelInfo struct {
+	Model string  `json:"model"`
+	Gen   int64   `json:"gen"`
+	Arch  string  `json:"arch"`
+	Scale float64 `json:"scale"`
+	Seed  uint64  `json:"seed"`
+}
+
+// ModelStats is the serving-counter snapshot for one hosted model.
+type ModelStats struct {
+	Model    string  `json:"model"`
+	Gen      int64   `json:"gen"`
+	Requests int64   `json:"requests"`
+	Rejected int64   `json:"rejected_429"`
+	Batches  int64   `json:"batches"`
+	Items    int64   `json:"batched_items"`
+	AvgBatch float64 `json:"avg_batch"`
+	MaxBatch int64   `json:"max_batch"`
+	Swaps    int64   `json:"swaps"`
+	Workers  int     `json:"workers"`
+	QueueCap int     `json:"queue_cap"`
+	QueueLen int     `json:"queue_len"`
+}
+
+// Registry is the multi-tenant model table. All methods are safe for
+// concurrent use; the expensive work of Register happens outside the
+// table lock so registration never stalls the inference path.
+type Registry struct {
+	cfg    Config
+	mu     sync.RWMutex
+	models map[string]*hostedModel
+	closed bool
+}
+
+// NewRegistry builds an empty registry. cfg must already have defaults
+// applied (Server.New does this).
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{cfg: cfg, models: make(map[string]*hostedModel)}
+}
+
+func modelKey(tenant, name string) string { return tenant + "/" + name }
+
+// Register hosts (or hot-swaps) tenant's model under the given name.
+// The deployment — model build, SE plan, layout, image sealed under the
+// tenant's derived sub-key, and one engine per worker — is constructed
+// before any lock is taken; for an existing name the swap is atomic and
+// the previous deployment drains in the background while its in-flight
+// batches finish.
+func (r *Registry) Register(tenant, name string, spec ModelSpec) (*RegisterInfo, error) {
+	if tenant == "" || name == "" {
+		return nil, fmt.Errorf("%w: empty tenant or model name", ErrBadInput)
+	}
+	dep, info, err := r.build(tenant, spec)
+	if err != nil {
+		return nil, err
+	}
+	k := modelKey(tenant, name)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	h, ok := r.models[k]
+	if !ok {
+		// Install before publishing, so a concurrent lookup never sees a
+		// hosted model without a deployment.
+		h = newHostedModel(tenant, name, r.cfg)
+		if _, err := h.install(dep); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		r.models[k] = h
+		r.mu.Unlock()
+	} else {
+		r.mu.Unlock()
+		if _, err := h.install(dep); err != nil {
+			return nil, err
+		}
+	}
+	info.Model = k
+	info.Gen = dep.gen
+	return info, nil
+}
+
+// build constructs a deployment for spec, sealed under the tenant's
+// sub-key.
+func (r *Registry) build(tenant string, spec ModelSpec) (*deployment, *RegisterInfo, error) {
+	arch, err := seal.ArchByName(spec.Arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if spec.Scale < 0 {
+		return nil, nil, fmt.Errorf("%w: scale %v", ErrBadInput, spec.Scale)
+	}
+	if spec.Scale != 0 && spec.Scale != 1 {
+		arch = arch.Scale(spec.Scale, 0)
+	}
+	opts := seal.DefaultOptions()
+	if spec.Ratio != nil {
+		if *spec.Ratio < 0 || *spec.Ratio > 1 {
+			return nil, nil, fmt.Errorf("%w: ratio %v", ErrBadInput, *spec.Ratio)
+		}
+		opts.Ratio = *spec.Ratio
+	}
+	key := r.cfg.MasterKey.DeriveSubKey(tenant)
+	prep, err := seal.Prepare(arch, spec.Seed,
+		seal.WithOptions(opts),
+		seal.WithKey(key),
+		seal.WithBatch(r.cfg.MaxBatch),
+		seal.WithPanelBytes(spec.PanelBytes),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	engines := make([]*secure.Engine, r.cfg.Workers)
+	engines[0] = prep.Engine()
+	for i := 1; i < len(engines); i++ {
+		if engines[i], err = prep.NewEngine(); err != nil {
+			return nil, nil, err
+		}
+	}
+	pool, err := secure.NewPool(engines...)
+	if err != nil {
+		return nil, nil, err
+	}
+	dep := &deployment{
+		spec:     spec,
+		prep:     prep,
+		pool:     pool,
+		inC:      arch.InC,
+		inH:      arch.InH,
+		inW:      arch.InW,
+		inputLen: arch.InC * arch.InH * arch.InW,
+	}
+	info := &RegisterInfo{
+		Arch:              spec.Arch,
+		Scale:             effectiveScale(spec.Scale),
+		Ratio:             opts.Ratio,
+		Seed:              spec.Seed,
+		Workers:           len(engines),
+		InputLen:          dep.inputLen,
+		Classes:           classes(arch),
+		WeightEncFraction: prep.Plan().WeightEncFraction(),
+		ImageEncFraction:  prep.Layout().EncryptedFraction(),
+	}
+	return dep, info, nil
+}
+
+func effectiveScale(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// classes returns the width of the network's final weight layer — the
+// logits length per sample.
+func classes(a *seal.Arch) int {
+	for i := len(a.Specs) - 1; i >= 0; i-- {
+		if a.Specs[i].WeightCount() > 0 {
+			return a.Specs[i].OutC
+		}
+	}
+	return 0
+}
+
+// lookup resolves a hosted model; missing entries wrap
+// seal.ErrModelNotFound.
+func (r *Registry) lookup(tenant, name string) (*hostedModel, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.models[modelKey(tenant, name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", seal.ErrModelNotFound, tenant, name)
+	}
+	return h, nil
+}
+
+// Unregister removes a model and drains it completely before returning.
+func (r *Registry) Unregister(tenant, name string) error {
+	k := modelKey(tenant, name)
+	r.mu.Lock()
+	h, ok := r.models[k]
+	delete(r.models, k)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", seal.ErrModelNotFound, tenant, name)
+	}
+	h.stop()
+	return nil
+}
+
+// List returns the hosted models sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	out := make([]ModelInfo, 0, len(r.models))
+	for k, h := range r.models {
+		dep := h.dep.Load()
+		out = append(out, ModelInfo{
+			Model: k,
+			Gen:   dep.gen,
+			Arch:  dep.spec.Arch,
+			Scale: effectiveScale(dep.spec.Scale),
+			Seed:  dep.spec.Seed,
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+// Stats snapshots the serving counters of every hosted model, sorted by
+// name.
+func (r *Registry) Stats() []ModelStats {
+	r.mu.RLock()
+	out := make([]ModelStats, 0, len(r.models))
+	for k, h := range r.models {
+		dep := h.dep.Load()
+		st := ModelStats{
+			Model:    k,
+			Gen:      dep.gen,
+			Requests: h.stats.requests.Load(),
+			Rejected: h.stats.rejected.Load(),
+			Batches:  h.stats.batches.Load(),
+			Items:    h.stats.items.Load(),
+			MaxBatch: h.stats.maxBatch.Load(),
+			Swaps:    h.stats.swaps.Load(),
+			Workers:  dep.pool.Size(),
+			QueueCap: cap(h.queue),
+			QueueLen: len(h.queue),
+		}
+		if st.Batches > 0 {
+			st.AvgBatch = float64(st.Items) / float64(st.Batches)
+		}
+		out = append(out, st)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+// Close drains every hosted model and rejects all future work. It
+// returns once no request is in flight and every engine pool has been
+// reclaimed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	models := make([]*hostedModel, 0, len(r.models))
+	for _, h := range r.models {
+		models = append(models, h)
+	}
+	r.models = make(map[string]*hostedModel)
+	r.mu.Unlock()
+	for _, h := range models {
+		h.stop()
+	}
+}

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"seal"
+	"seal/internal/parallel"
+)
+
+// Config tunes the gateway. The zero value is usable: New fills in the
+// defaults below.
+type Config struct {
+	// MasterKey roots the per-tenant key hierarchy: tenant t's images
+	// are sealed under MasterKey.DeriveSubKey(t).
+	MasterKey seal.Key
+	// QueueDepth bounds each model's admission queue; a full queue
+	// answers 429 with Retry-After.
+	QueueDepth int
+	// MaxBatch caps dynamic batch size.
+	MaxBatch int
+	// BatchWindow is how long the batcher waits to widen a non-full
+	// batch after its first request.
+	BatchWindow time.Duration
+	// Workers is the number of streaming engines (concurrent batches)
+	// per model; 0 sizes it from the shared worker pool.
+	Workers int
+	// RetryAfter is the backoff hint sent with 429 responses.
+	RetryAfter time.Duration
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultQueueDepth  = 64
+	DefaultMaxBatch    = 8
+	DefaultBatchWindow = 2 * time.Millisecond
+	DefaultRetryAfter  = time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = parallel.Workers()
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// Server is the HTTP face of the gateway:
+//
+//	GET    /healthz
+//	GET    /v1/models
+//	GET    /v1/stats
+//	PUT    /v1/tenants/{tenant}/models/{model}        register / hot-swap
+//	DELETE /v1/tenants/{tenant}/models/{model}        unregister (drains)
+//	POST   /v1/tenants/{tenant}/models/{model}/infer  one sample per request
+//
+// Inference requests carry one sample each; the gateway batches
+// concurrent requests dynamically before running them on a pooled
+// engine, so client code stays trivially simple while the zero-alloc
+// eval path gets wide batches.
+type Server struct {
+	cfg Config
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// New builds a gateway server with an empty registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, reg: NewRegistry(cfg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/models", s.handleList)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/models/{model}", s.handleRegister)
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}/models/{model}", s.handleUnregister)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/models/{model}/infer", s.handleInfer)
+	return s
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the model table (the bench driver and tests use it
+// directly).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close drains every model and rejects further work. Callers doing an
+// HTTP-level graceful shutdown should stop the listener first
+// (http.Server.Shutdown), then Close the gateway.
+func (s *Server) Close() { s.reg.Close() }
+
+// InferRequest is the inference body: exactly one of Input (a JSON
+// number array) or Raw (base64 little-endian float32 bytes) must hold
+// the sample. Numbers survive the JSON round-trip bit-exactly (every
+// float32 is an exact float64), so either form supports the gateway's
+// bit-identity guarantee.
+type InferRequest struct {
+	Input []float64 `json:"input,omitempty"`
+	Raw   []byte    `json:"raw,omitempty"`
+}
+
+func (q *InferRequest) sample() ([]float32, error) {
+	switch {
+	case len(q.Raw) > 0 && len(q.Input) > 0:
+		return nil, fmt.Errorf("%w: both input and raw set", ErrBadInput)
+	case len(q.Raw) > 0:
+		if len(q.Raw)%4 != 0 {
+			return nil, fmt.Errorf("%w: raw length %d not a multiple of 4", ErrBadInput, len(q.Raw))
+		}
+		out := make([]float32, len(q.Raw)/4)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(q.Raw[i*4:]))
+		}
+		return out, nil
+	case len(q.Input) > 0:
+		out := make([]float32, len(q.Input))
+		for i, v := range q.Input {
+			out[i] = float32(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: empty input", ErrBadInput)
+	}
+}
+
+// InferResponse returns one sample's logits. Raw mirrors the request
+// encoding: raw in, raw out; JSON numbers otherwise. Batch reports how
+// many requests shared the forward pass, Gen which deployment served
+// it.
+type InferResponse struct {
+	Model  string    `json:"model"`
+	Gen    int64     `json:"gen"`
+	Batch  int       `json:"batch"`
+	Logits []float64 `json:"logits,omitempty"`
+	Raw    []byte    `json:"raw,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Stats())
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec ModelSpec
+	if err := decodeJSON(w, r, &spec); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	info, err := s.reg.Register(r.PathValue("tenant"), r.PathValue("model"), spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Unregister(r.PathValue("tenant"), r.PathValue("model")); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unregistered"})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	tenant, name := r.PathValue("tenant"), r.PathValue("model")
+	h, err := s.reg.lookup(tenant, name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req InferRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	input, err := req.sample()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, err := h.admit(input)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	select {
+	case res := <-p.resp:
+		if res.err != nil {
+			s.writeError(w, res.err)
+			return
+		}
+		resp := InferResponse{Model: modelKey(tenant, name), Gen: res.gen, Batch: res.batch}
+		if len(req.Raw) > 0 {
+			resp.Raw = make([]byte, len(res.logits)*4)
+			for i, v := range res.logits {
+				binary.LittleEndian.PutUint32(resp.Raw[i*4:], math.Float32bits(v))
+			}
+		} else {
+			resp.Logits = make([]float64, len(res.logits))
+			for i, v := range res.logits {
+				resp.Logits[i] = float64(v)
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		// Client gone; the batch still completes and its result is
+		// dropped via the buffered response channel.
+	}
+}
+
+// statusFor maps the façade's sentinel errors (and the gateway's own)
+// to HTTP statuses — errors.Is, never string matching.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, seal.ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, seal.ErrUnknownArch), errors.Is(err, seal.ErrBadKey), errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := statusFor(err)
+	if code == http.StatusTooManyRequests {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// maxBodyBytes bounds request bodies; a full-width CIFAR sample is
+// ~12 KiB of floats, so 32 MiB leaves room for future large inputs.
+const maxBodyBytes = 32 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package seal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"seal/internal/aes"
+)
+
+// KeySize is the byte length of a sealing key (AES-128).
+const KeySize = aes.KeySize
+
+// Key is a validated 128-bit sealing key. The zero Key is usable (any
+// 16 bytes key AES), but deployments should construct keys explicitly
+// with NewKey or KeyFromString and hand each tenant a DeriveSubKey
+// result so no two tenants ever share keystream.
+//
+// Key replaces the raw []byte keys of the original five-step API: a
+// Key cannot have the wrong length, so the one runtime failure mode of
+// core.NewMemoryImage's raw-slice path (which remains available as the
+// low-level API, but is deprecated for callers of this package) is
+// gone by construction.
+type Key struct {
+	b [KeySize]byte
+}
+
+// NewKey validates and copies a raw 16-byte key. It wraps ErrBadKey for
+// any other length.
+func NewKey(b []byte) (Key, error) {
+	if len(b) != KeySize {
+		return Key{}, fmt.Errorf("%w: length %d, want %d", ErrBadKey, len(b), KeySize)
+	}
+	var k Key
+	copy(k.b[:], b)
+	return k, nil
+}
+
+// KeyFromString derives a Key from an arbitrary passphrase-style
+// string, so CLIs and examples never ship hard-coded 16-byte literals.
+// The derivation is the same keyed AES construction as DeriveSubKey
+// (under the zero master key, with a distinct domain-separation label),
+// deterministic across runs and platforms.
+func KeyFromString(s string) Key {
+	var zero Key
+	return zero.derive(labelPassphrase, s)
+}
+
+// Bytes returns a copy of the raw key material.
+func (k Key) Bytes() []byte {
+	out := make([]byte, KeySize)
+	copy(out, k.b[:])
+	return out
+}
+
+// String redacts the key material so a Key can be logged safely.
+func (k Key) String() string { return "seal.Key(redacted)" }
+
+// Domain-separation labels for the keyed derivation.
+const (
+	labelTenant     = 'T'
+	labelPassphrase = 'P'
+)
+
+// DeriveSubKey derives the tenant's sub-key from k. The derivation is a
+// PRF built entirely from the repository's own AES-CTR machinery: a
+// CBC-MAC under k absorbs the length-prefixed, domain-separated tenant
+// name, and the MAC value then selects the (address, counter) pair of
+// one counter-mode keystream block under k — the same per-line pad
+// datapath the memory encryption uses — whose 16 bytes are the sub-key.
+// Distinct tenant names yield independent keys; without k, no sub-key
+// reveals anything about another (each is one AES-CTR pad under k).
+func (k Key) DeriveSubKey(tenant string) Key {
+	return k.derive(labelTenant, tenant)
+}
+
+func (k Key) derive(label byte, s string) Key {
+	c, err := aes.New(k.b[:])
+	if err != nil {
+		// A Key is 16 bytes by construction.
+		panic(err)
+	}
+	// CBC-MAC over label || len(s) || s, zero-padded to whole blocks.
+	// The length prefix makes the padded message injective.
+	var st [KeySize]byte
+	st[0] = label
+	binary.BigEndian.PutUint64(st[1:9], uint64(len(s)))
+	c.Encrypt(st[:], st[:])
+	for i := 0; i < len(s); i += KeySize {
+		var blk [KeySize]byte
+		copy(blk[:], s[i:])
+		for j := range st {
+			st[j] ^= blk[j]
+		}
+		c.Encrypt(st[:], st[:])
+	}
+	// Expand through the CTR pad path keyed by k.
+	pad := aes.NewCTR(c).Pad(
+		binary.BigEndian.Uint64(st[0:8]),
+		binary.BigEndian.Uint64(st[8:16]),
+		KeySize,
+	)
+	var out Key
+	copy(out.b[:], pad)
+	return out
+}

@@ -1,0 +1,86 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewKeyValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		_, err := NewKey(make([]byte, n))
+		if !errors.Is(err, ErrBadKey) {
+			t.Fatalf("NewKey(len %d) error %v, want ErrBadKey", n, err)
+		}
+	}
+	raw := []byte("0123456789abcdef")
+	k, err := NewKey(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k.Bytes(), raw) {
+		t.Fatalf("Bytes() = %x, want %x", k.Bytes(), raw)
+	}
+	// Bytes must be a copy, not an alias into the key.
+	k.Bytes()[0] ^= 0xff
+	if !bytes.Equal(k.Bytes(), raw) {
+		t.Fatal("Bytes() aliases the key material")
+	}
+}
+
+func TestKeyStringRedacts(t *testing.T) {
+	k := KeyFromString("super secret passphrase")
+	if s := k.String(); strings.Contains(s, "secret") || len(s) > 40 {
+		t.Fatalf("String() leaks or is odd: %q", s)
+	}
+}
+
+func TestDeriveSubKeyDeterministicAndDistinct(t *testing.T) {
+	master := KeyFromString("master")
+	a1 := master.DeriveSubKey("tenant-a")
+	a2 := master.DeriveSubKey("tenant-a")
+	b := master.DeriveSubKey("tenant-b")
+	if a1 != a2 {
+		t.Fatal("DeriveSubKey not deterministic")
+	}
+	if a1 == b {
+		t.Fatal("distinct tenants derived the same key")
+	}
+	other := KeyFromString("other master").DeriveSubKey("tenant-a")
+	if other == a1 {
+		t.Fatal("distinct masters derived the same tenant key")
+	}
+	if a1 == master || b == master {
+		t.Fatal("sub-key equals master")
+	}
+}
+
+// Domain separation: a passphrase key and a tenant derivation of the
+// zero key must differ even for equal strings, and long tenant names
+// must be absorbed beyond the first block.
+func TestKeyDerivationDomains(t *testing.T) {
+	var zero Key
+	if KeyFromString("x") == zero.DeriveSubKey("x") {
+		t.Fatal("passphrase and tenant derivations collide")
+	}
+	long := strings.Repeat("tenant-name-", 10)
+	if zero.DeriveSubKey(long) == zero.DeriveSubKey(long[:16]) {
+		t.Fatal("derivation ignores input beyond one block")
+	}
+	if zero.DeriveSubKey("ab") == zero.DeriveSubKey("a") {
+		t.Fatal("length prefix not separating prefixes")
+	}
+}
+
+func TestArchByNameUnknownWrapsSentinel(t *testing.T) {
+	if _, err := ArchByName("lenet"); !errors.Is(err, ErrUnknownArch) {
+		t.Fatalf("ArchByName error %v, want ErrUnknownArch", err)
+	}
+	if _, err := PrepareByName("lenet", 1); !errors.Is(err, ErrUnknownArch) {
+		t.Fatalf("PrepareByName error %v, want ErrUnknownArch", err)
+	}
+	if _, err := ArchByName("vgg16"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package seal
+
+import (
+	"fmt"
+	"testing"
+
+	"seal/internal/parallel"
+	"seal/internal/prng"
+)
+
+// randInput fills a fresh batch tensor for an architecture.
+func randInput(arch *Arch, batch int, seed uint64) *Tensor {
+	x := NewTensor(batch, arch.InC, arch.InH, arch.InW)
+	rng := prng.New(seed)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+// TestPrepareMatchesManualChain pins the redesigned one-call API to the
+// five-step constructor chain it replaced: same arch, seed, key and
+// panel budget must produce bit-identical logits, at serial and
+// parallel pool widths.
+func TestPrepareMatchesManualChain(t *testing.T) {
+	key := KeyFromString("prepare equivalence key")
+	for _, name := range []string{"vgg16", "resnet18"} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/workers%d", name, workers), func(t *testing.T) {
+				prev := parallel.SetWorkers(workers)
+				defer parallel.SetWorkers(prev)
+
+				arch, err := ArchByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				arch = arch.Scale(0.125, 0)
+				x := randInput(arch, 2, 99)
+
+				// Manual five-step chain.
+				model, err := BuildModel(arch, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan, err := NewPlan(model, DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				layout, err := NewLayout(plan, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				img, err := NewMemoryImage(layout, model, key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := NewSecureEngine(img, model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := eng.Forward(x)
+				wantCopy := make([]float32, len(want.Data))
+				copy(wantCopy, want.Data)
+
+				// One-call Prepare.
+				p, err := Prepare(arch, 42, WithKey(key))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := p.Forward(x)
+				if len(got.Data) != len(wantCopy) {
+					t.Fatalf("logits length %d, want %d", len(got.Data), len(wantCopy))
+				}
+				for i := range wantCopy {
+					if got.Data[i] != wantCopy[i] {
+						t.Fatalf("logit %d = %v, want %v (not bit-identical)", i, got.Data[i], wantCopy[i])
+					}
+				}
+
+				// And against the plaintext forward, which the secure path
+				// promises bit-identity with.
+				plain := p.Model().Forward(x, false)
+				for i := range wantCopy {
+					if plain.Data[i] != wantCopy[i] {
+						t.Fatalf("plaintext logit %d = %v, want %v", i, plain.Data[i], wantCopy[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPrepareOptionsApply(t *testing.T) {
+	arch, err := ArchByName("vgg16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch = arch.Scale(0.0625, 0)
+	opts := DefaultOptions()
+	opts.Ratio = 1.0
+	p, err := Prepare(arch, 7, WithOptions(opts), WithBatch(4), WithPanelBytes(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Plan().WeightEncFraction(); f != 1.0 {
+		t.Fatalf("ratio 1.0 plan encrypts %.3f of weights, want 1.0", f)
+	}
+	if pb := p.Engine().PanelBytes(); pb != 4096 {
+		t.Fatalf("engine panel bytes %d, want 4096", pb)
+	}
+	if p.Arch() != arch || p.Seed() != 7 {
+		t.Fatal("accessors do not round-trip arch/seed")
+	}
+	if _, err := Prepare(arch, 7, WithBatch(0)); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+	if _, err := Prepare(nil, 7); err == nil {
+		t.Fatal("nil arch accepted")
+	}
+}
+
+// TestPreparedNewEngine pins the pool-worker path: an engine rebuilt
+// from the bundle's seed over the shared image produces the same bits
+// as the primary engine.
+func TestPreparedNewEngine(t *testing.T) {
+	base, err := ArchByName("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := base.Scale(0.0625, 0)
+	p, err := Prepare(arch, 21, WithKey(KeyFromString("worker key")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(arch, 2, 5)
+	want := p.Forward(x)
+	wantCopy := make([]float32, len(want.Data))
+	copy(wantCopy, want.Data)
+
+	w, err := p.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == p.Engine() {
+		t.Fatal("NewEngine returned the primary engine")
+	}
+	if w.Image() != p.Image() {
+		t.Fatal("worker engine does not share the sealed image")
+	}
+	if w.Model() == p.Model() {
+		t.Fatal("worker engine shares the primary model (engines would race)")
+	}
+	got := w.Forward(x)
+	for i := range wantCopy {
+		if got.Data[i] != wantCopy[i] {
+			t.Fatalf("worker logit %d = %v, want %v", i, got.Data[i], wantCopy[i])
+		}
+	}
+}

@@ -24,19 +24,27 @@
 //   - exp:     runners reproducing every table and figure of the
 //     paper's evaluation (internal/exp)
 //
-// A minimal end-to-end flow:
+// A minimal end-to-end flow is one call: Prepare builds the model,
+// smart-encryption plan, EMalloc layout, sealed memory image and
+// streaming secure-inference engine as a single bundle:
 //
 //	arch := seal.ResNet18().Scale(0.25, 0)
-//	model, _ := seal.BuildModel(arch, 42)
-//	plan, _ := seal.NewPlan(model, seal.DefaultOptions())
-//	layout, _ := seal.NewLayout(plan, 1)
-//	fmt.Printf("ciphertext fraction: %.2f\n", layout.EncryptedFraction())
+//	p, _ := seal.Prepare(arch, 42, seal.WithKey(seal.KeyFromString("demo")))
+//	fmt.Printf("ciphertext fraction: %.2f\n", p.Layout().EncryptedFraction())
+//	logits := p.Forward(x) // streamed from the encrypted image
+//
+// The five individual constructors (BuildModel, NewPlan, NewLayout,
+// NewMemoryImage, NewSecureEngine) remain as the low-level API.
+// cmd/sealserve hosts Prepared bundles behind a multi-tenant HTTP
+// gateway (internal/serve), with per-tenant keys via Key.DeriveSubKey.
 //
 // See examples/ for runnable programs and cmd/ for the experiment
 // binaries.
 package seal
 
 import (
+	"fmt"
+
 	"seal/internal/attack"
 	"seal/internal/core"
 	"seal/internal/dataset"
@@ -45,6 +53,7 @@ import (
 	"seal/internal/models"
 	"seal/internal/prng"
 	"seal/internal/secure"
+	"seal/internal/tensor"
 	"seal/internal/trace"
 )
 
@@ -89,6 +98,9 @@ type (
 	Stream = gpu.Stream
 	// Op is one trace element: compute followed by a memory access.
 	Op = gpu.Op
+	// Tensor is the dense float32 tensor every forward pass consumes
+	// and produces.
+	Tensor = tensor.Tensor
 	// TraceParams tunes the workload-to-trace execution model.
 	TraceParams = trace.Params
 	// Dataset is a labeled image set.
@@ -119,8 +131,18 @@ func ResNet18() *Arch { return models.ResNet18Arch() }
 // ResNet34 returns the CIFAR-10 ResNet-34 geometry (33 CONV + 1 FC).
 func ResNet34() *Arch { return models.ResNet34Arch() }
 
-// ArchByName resolves "vgg16", "resnet18" or "resnet34".
-func ArchByName(name string) (*Arch, error) { return models.ArchByName(name) }
+// ArchByName resolves "vgg16", "resnet18" or "resnet34"; unknown names
+// wrap ErrUnknownArch.
+func ArchByName(name string) (*Arch, error) {
+	a, err := models.ArchByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (want vgg16, resnet18 or resnet34)", ErrUnknownArch, name)
+	}
+	return a, nil
+}
+
+// NewTensor allocates a zeroed tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
 // BuildModel constructs a trainable model with He-initialized weights
 // from the deterministic seed.
@@ -140,11 +162,14 @@ func NewPlan(m *Model, opts Options) (*Plan, error) { return core.NewPlan(m, opt
 func NewLayout(p *Plan, batch int) (*Layout, error) { return core.NewLayout(p, batch) }
 
 // NewMemoryImage materializes the layout's DRAM bytes for a model,
-// encrypting the planned blocks under AES-128 CTR with the 16-byte key —
-// the functional counterpart of the timing simulator (Snoop/Audit show
-// exactly what a bus adversary captures).
-func NewMemoryImage(l *Layout, m *Model, key []byte) (*MemoryImage, error) {
-	return core.NewMemoryImage(l, m, key)
+// encrypting the planned blocks under AES-128 CTR with the sealing
+// key — the functional counterpart of the timing simulator (Snoop/Audit
+// show exactly what a bus adversary captures). The validated Key type
+// replaces the raw []byte key of earlier revisions; the raw-slice path
+// survives only as the low-level core.NewMemoryImage and is deprecated
+// for callers of this package.
+func NewMemoryImage(l *Layout, m *Model, key Key) (*MemoryImage, error) {
+	return core.NewMemoryImage(l, m, key.b[:])
 }
 
 // NewSecureEngine builds a streaming secure-inference engine over an

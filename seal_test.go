@@ -7,6 +7,9 @@ import (
 	"seal/internal/tensor"
 )
 
+// testImageKey seals the images the façade tests build.
+var testImageKey = KeyFromString("seal facade test key")
+
 func TestFacadeEndToEnd(t *testing.T) {
 	arch := ResNet18().Scale(0.125, 0)
 	model, err := BuildModel(arch, 42)
@@ -109,7 +112,7 @@ func TestFacadeMemoryImage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	img, err := NewMemoryImage(layout, model, []byte("0123456789abcdef"))
+	img, err := NewMemoryImage(layout, model, testImageKey)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +139,7 @@ func TestFacadeSecureEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	img, err := NewMemoryImage(layout, model, []byte("0123456789abcdef"))
+	img, err := NewMemoryImage(layout, model, testImageKey)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,9 +8,16 @@
 //
 // Usage:
 //
-//	sealserve -addr :8080 -master-key "prod master"   # serve
-//	sealserve -preload vgg16,resnet18                 # pre-register models
+//	sealserve -master-key $(openssl rand -hex 16)     # serve
+//	sealserve -insecure-dev-key -preload vgg16        # local dev, fixed key
 //	sealserve -bench-json                             # write BENCH_PR7.json and exit
+//
+// The master key must be 32 hex characters (16 random bytes). The
+// passphrase-derived dev key is accepted only behind -insecure-dev-key
+// (and implicitly in -bench-json, which serves synthetic weights to an
+// in-process client): seal.KeyFromString is unsalted and publicly
+// computable, so a passphrase-rooted tenant hierarchy is only as strong
+// as the passphrase.
 //
 // Endpoints:
 //
@@ -24,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,7 +49,8 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		masterKey = flag.String("master-key", "sealserve dev master key", "master passphrase; tenant keys are derived from it")
+		masterKey = flag.String("master-key", "", "hex-encoded 128-bit master key (32 hex chars); tenant keys are derived from it")
+		devKey    = flag.Bool("insecure-dev-key", false, "serve with a fixed passphrase-derived key instead of -master-key (local development only; trivially brute-forceable)")
 		preload   = flag.String("preload", "", "comma-separated architectures to register at startup under tenant \"public\"")
 		scale     = flag.Float64("scale", 0.25, "channel-width multiplier for preloaded models")
 		ratio     = flag.Float64("ratio", 0.5, "SE encryption ratio for preloaded models")
@@ -60,8 +69,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// The bench serves deterministic synthetic weights to an in-process
+	// client, so the fixed dev key is fine there; real serving demands a
+	// full-entropy key unless the operator opts into the insecure one.
+	key, err := resolveMasterKey(*masterKey, *devKey || *benchJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealserve: %v\n", err)
+		os.Exit(1)
+	}
+
 	cfg := serve.Config{
-		MasterKey:   seal.KeyFromString(*masterKey),
+		MasterKey:   key,
 		QueueDepth:  *queue,
 		MaxBatch:    *maxB,
 		BatchWindow: *window,
@@ -90,7 +108,9 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: gw.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "sealserve: shutting down...")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -105,6 +125,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sealserve: %v\n", err)
 		os.Exit(1)
 	}
+	// ListenAndServe returns the instant Shutdown is called; in-flight
+	// requests and the engine pools are still draining in the signal
+	// goroutine, so graceful shutdown means waiting for it to finish.
+	<-drained
+}
+
+// resolveMasterKey turns the -master-key flag into a seal.Key: 32 hex
+// characters of full-entropy key material, or — only when allowDev is
+// set (-insecure-dev-key, or bench mode) — the fixed passphrase-derived
+// development key.
+func resolveMasterKey(hexKey string, allowDev bool) (seal.Key, error) {
+	if hexKey != "" {
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil {
+			return seal.Key{}, fmt.Errorf("-master-key: %v (want 32 hex characters)", err)
+		}
+		return seal.NewKey(raw)
+	}
+	if allowDev {
+		return seal.KeyFromString("sealserve dev master key"), nil
+	}
+	return seal.Key{}, errors.New("-master-key is required: 32 hex characters of random key material (e.g. `openssl rand -hex 16`); pass -insecure-dev-key to serve with the fixed dev key locally")
 }
 
 func splitList(s string) []string {

@@ -40,6 +40,14 @@ func (p *Pool) Idle() int { return len(p.engines) }
 // Acquire checks out an engine, blocking until one is free.
 func (p *Pool) Acquire() *Engine { return <-p.engines }
 
+// AcquireC exposes the checkout channel so callers can select an
+// acquire against other events — receiving from it is exactly Acquire.
+// The serving batcher needs this: once a deployment is retired its pool
+// is being Drained concurrently, so a bare Acquire could block forever;
+// selecting against the retirement signal lets the caller move to the
+// replacement pool instead.
+func (p *Pool) AcquireC() <-chan *Engine { return p.engines }
+
 // TryAcquire checks out an engine without blocking.
 func (p *Pool) TryAcquire() (*Engine, bool) {
 	select {

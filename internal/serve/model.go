@@ -42,6 +42,14 @@ type deployment struct {
 	inH      int
 	inW      int
 	inputLen int // inC*inH*inW floats per sample
+
+	// retired is closed by install() the moment this deployment is
+	// swapped out, strictly before the background Drain of its pool
+	// starts. The batcher selects on it while acquiring an engine:
+	// without the signal, a swap landing between the batcher's
+	// deployment load and its Acquire lets Drain win every engine and
+	// the Acquire blocks forever — a permanently wedged model.
+	retired chan struct{}
 }
 
 // pending is one admitted inference request waiting for its batch. The
@@ -128,6 +136,10 @@ func (h *hostedModel) install(dep *deployment) (int64, error) {
 		return dep.gen, nil
 	}
 	h.stats.swaps.Add(1)
+	// Signal retirement before Drain can consume any engine, so a
+	// dispatch already parked on the old pool re-targets the new
+	// deployment instead of racing Drain for the last engine.
+	close(old.retired)
 	h.retired.Add(1)
 	go func() {
 		defer h.retired.Done()
@@ -207,10 +219,28 @@ func (h *hostedModel) loop() {
 
 func (h *hostedModel) dispatch(first *pending) {
 	batch := h.collect(first)
-	dep := h.dep.Load()
-	eng := dep.pool.Acquire()
+	dep, eng := h.acquireEngine(h.dep.Load())
 	h.running.Add(1)
 	go h.run(dep, eng, batch)
+}
+
+// acquireEngine checks an engine out of dep's pool, re-targeting the
+// current deployment whenever the one it is waiting on retires. A bare
+// pool.Acquire here would race the hot-swap: a swap landing after the
+// caller loaded dep lets the old pool's background Drain take every
+// engine and never give one back, blocking the batcher on the stale
+// pool forever. Winning an engine from a just-retired pool is still
+// safe — its Drain blocks until run() releases the engine, which is the
+// in-flight guarantee hot-swap is built on.
+func (h *hostedModel) acquireEngine(dep *deployment) (*deployment, *secure.Engine) {
+	for {
+		select {
+		case eng := <-dep.pool.AcquireC():
+			return dep, eng
+		case <-dep.retired:
+			dep = h.dep.Load()
+		}
+	}
 }
 
 // collect widens a batch: after the first request it keeps taking from

@@ -187,6 +187,7 @@ func (r *Registry) build(tenant string, spec ModelSpec) (*deployment, *RegisterI
 		inH:      arch.InH,
 		inW:      arch.InW,
 		inputLen: arch.InC * arch.InH * arch.InW,
+		retired:  make(chan struct{}),
 	}
 	info := &RegisterInfo{
 		Arch:              spec.Arch,

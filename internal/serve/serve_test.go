@@ -17,6 +17,7 @@ import (
 	"seal"
 	"seal/internal/aes"
 	"seal/internal/prng"
+	"seal/internal/secure"
 )
 
 const (
@@ -431,6 +432,119 @@ func TestHotSwapUnderLoad(t *testing.T) {
 	}
 	if st := s.Registry().Stats(); st[0].Swaps != 1 {
 		t.Fatalf("stats swaps %d, want 1", st[0].Swaps)
+	}
+}
+
+// TestAcquireRetargetsOnRetire pins the exact interleaving that used to
+// wedge a model: the batcher loads the deployment pointer, a hot-swap
+// retires it, and the background Drain — with the single engine idle —
+// wins the whole pool before the batcher's acquire runs. A bare
+// pool.Acquire on the stale deployment then blocks forever; the
+// retirement signal must re-target the acquire to the new pool.
+func TestAcquireRetargetsOnRetire(t *testing.T) {
+	reg := NewRegistry(Config{MasterKey: testMaster, Workers: 1}.withDefaults())
+	defer reg.Close()
+	if _, err := reg.Register("t", "m", testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.lookup("t", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := h.dep.Load() // the batcher's view just before the swap
+	if _, err := reg.Register("t", "m", testSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	h.retired.Wait() // old pool fully drained: nothing will ever free it
+
+	type got struct {
+		dep *deployment
+		eng *secure.Engine
+	}
+	c := make(chan got, 1)
+	go func() {
+		d, e := h.acquireEngine(stale)
+		c <- got{d, e}
+	}()
+	select {
+	case g := <-c:
+		if g.dep != h.dep.Load() {
+			t.Fatal("acquired from a retired deployment")
+		}
+		g.dep.pool.Release(g.eng)
+	case <-time.After(10 * time.Second):
+		t.Fatal("acquire blocked on the drained stale pool — the batcher would be wedged")
+	}
+}
+
+// TestRapidHotSwapNeverWedges hammers install() against dispatch():
+// with a single worker, a swap landing between the batcher's deployment
+// load and its engine acquire used to let the old pool's background
+// Drain win the only engine, leaving the batcher blocked on the stale
+// pool forever — every later request 429s and Close hangs. Back-to-back
+// swaps under continuous load make that window hit; the test passes
+// only if the batcher stays live afterwards and Close returns.
+func TestRapidHotSwapNeverWedges(t *testing.T) {
+	reg := NewRegistry(Config{
+		MasterKey: testMaster, Workers: 1, MaxBatch: 2, QueueDepth: 8,
+	}.withDefaults())
+	if _, err := reg.Register("t", "m", testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.lookup("t", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := sampleInput(t, 21)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := h.admit(input)
+				if err != nil {
+					continue // full queue — keep the batcher saturated
+				}
+				<-p.resp
+			}
+		}()
+	}
+
+	for swap := 0; swap < 8; swap++ {
+		if _, err := reg.Register("t", "m", testSpec(uint64(1+swap%2))); err != nil {
+			t.Fatalf("swap %d: %v", swap, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The batcher must still be alive: a fresh request gets served.
+	p, err := h.admit(input)
+	if err != nil {
+		t.Fatalf("post-swap admit: %v", err)
+	}
+	select {
+	case res := <-p.resp:
+		if res.err != nil {
+			t.Fatalf("post-swap infer: %v", res.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("batcher wedged: post-swap request never served")
+	}
+	done := make(chan struct{})
+	go func() { reg.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("registry Close hung after rapid hot-swaps")
 	}
 }
 

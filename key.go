@@ -36,10 +36,18 @@ func NewKey(b []byte) (Key, error) {
 }
 
 // KeyFromString derives a Key from an arbitrary passphrase-style
-// string, so CLIs and examples never ship hard-coded 16-byte literals.
-// The derivation is the same keyed AES construction as DeriveSubKey
-// (under the zero master key, with a distinct domain-separation label),
-// deterministic across runs and platforms.
+// string, so CLIs, examples and tests never ship hard-coded 16-byte
+// literals. The derivation is the same keyed AES construction as
+// DeriveSubKey (under the zero master key, with a distinct
+// domain-separation label), deterministic across runs and platforms.
+//
+// It is for demos and tests only: the derivation is fast, unsalted and
+// publicly computable (the master key is the all-zero constant), so the
+// resulting Key has exactly the entropy of the passphrase and a
+// low-entropy passphrase is trivially brute-forceable offline.
+// Deployments that seal real weights — anything rooting a tenant key
+// hierarchy, like sealserve — must use NewKey with 16 random bytes
+// (e.g. `openssl rand -hex 16` delivered via flag, env or file).
 func KeyFromString(s string) Key {
 	var zero Key
 	return zero.derive(labelPassphrase, s)

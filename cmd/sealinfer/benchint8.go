@@ -1,0 +1,302 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"seal"
+	"seal/internal/parallel"
+	"seal/internal/prng"
+)
+
+// int8ModelResult is one architecture's float-vs-int8 secure roofline
+// comparison: same scale, ratio, batch and seed on both sides.
+type int8ModelResult struct {
+	Name string `json:"name"`
+	// Float32 streamed secure forward (the PR 6 path).
+	FloatSecureNsPerOp int64   `json:"float_secure_ns_per_op"`
+	FloatMBDecrypted   float64 `json:"float_mb_decrypted_per_forward"`
+	// Quantized streamed secure forward.
+	Int8SecureNsPerOp int64   `json:"int8_secure_ns_per_op"`
+	Int8MBDecrypted   float64 `json:"int8_mb_decrypted_per_forward"`
+	Int8AllocsPerOp   int64   `json:"int8_allocs_per_op"`
+	// Int8Speedup = float secure ns / int8 secure ns (higher is better).
+	Int8Speedup float64 `json:"int8_speedup"`
+	// DecryptCut = float MB decrypted / int8 MB decrypted.
+	DecryptCut float64 `json:"decrypt_cut"`
+	// Int8DecryptGBPerSec is the standalone bulk decrypt throughput over
+	// the quantized weight regions.
+	Int8DecryptGBPerSec float64 `json:"int8_decrypt_gb_per_sec"`
+	// LogitsBitIdentical: streamed int8 logits equal the quantized model
+	// eval forward bit for bit, across worker counts {1, 8} and panel
+	// budgets {default, 4096}.
+	LogitsBitIdentical bool `json:"logits_bit_identical"`
+	// MaxErrVsFloat is the largest |int8 − float32| logit gap, and
+	// ErrTolerance the accepted bound (10% of the float logit range).
+	MaxErrVsFloat   float64 `json:"max_err_vs_float"`
+	ErrTolerance    float64 `json:"err_tolerance"`
+	WithinTolerance bool    `json:"within_tolerance"`
+}
+
+// int8Report is the schema of BENCH_PR8.json.
+type int8Report struct {
+	Benchmark string            `json:"benchmark"`
+	Scale     float64           `json:"scale"`
+	Ratio     float64           `json:"ratio"`
+	Batch     int               `json:"batch"`
+	Workers   int               `json:"workers"`
+	Models    []int8ModelResult `json:"models"`
+	// BestInt8Speedup is the largest per-model float/int8 time ratio —
+	// the headline quantization win.
+	BestInt8Speedup float64 `json:"best_int8_speedup"`
+	MinDecryptCut   float64 `json:"min_decrypt_cut"`
+	AllBitIdentical bool    `json:"all_bit_identical"`
+	AllWithinTol    bool    `json:"all_within_tolerance"`
+	GoldenFile      string  `json:"golden_file,omitempty"`
+	GoldenMatch     *bool   `json:"golden_match,omitempty"`
+}
+
+// int8Golden bounds the quantization win. The speedup bound applies to
+// the best model (so one noisy run on a quantization-unfriendly shape
+// cannot flake the gate); the decrypt cut is a layout property and must
+// hold for every model.
+type int8Golden struct {
+	MinInt8Speedup float64 `json:"min_int8_speedup"`
+	MinDecryptCut  float64 `json:"min_decrypt_cut"`
+}
+
+// benchInt8Model measures one architecture both ways and cross-checks
+// the quantized logits.
+func benchInt8Model(name string, scale, ratio float64, batch, panel int, seed uint64) (int8ModelResult, error) {
+	pf, err := buildPrepared(name, scale, ratio, panel, seed, false)
+	if err != nil {
+		return int8ModelResult{}, err
+	}
+	p8, err := buildPrepared(name, scale, ratio, panel, seed, true)
+	if err != nil {
+		return int8ModelResult{}, err
+	}
+	ef, e8, arch := pf.Engine(), p8.Engine(), pf.Arch()
+	rng := prng.New(seed + 1)
+	x := seal.NewTensor(batch, arch.InC, arch.InH, arch.InW)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+
+	// Float reference logits (plaintext forward == streamed float).
+	floatLogits := pf.Model().Forward(x, false)
+	floatCopy := make([]float32, len(floatLogits.Data))
+	copy(floatCopy, floatLogits.Data)
+	// Quantized reference logits: the int8 Prepared's model runs the
+	// matching quantized eval forward.
+	qwant := p8.Model().Forward(x, false)
+	qwantCopy := make([]float32, len(qwant.Data))
+	copy(qwantCopy, qwant.Data)
+
+	ef.Forward(x)
+	ef.ResetStats()
+	fsec := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ef.Forward(x)
+		}
+	})
+	fst := ef.Stats()
+
+	e8.Forward(x)
+	e8.ResetStats()
+	qsec := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e8.Forward(x)
+		}
+	})
+	qst := e8.Stats()
+
+	// Bit-identity of the streamed int8 logits against the quantized
+	// eval forward, across worker counts and panel budgets. Exact int32
+	// panel accumulation makes both invariances arithmetic facts; this
+	// verifies them on the real image.
+	bitIdentical := true
+	check := func(e *seal.SecureEngine) {
+		for _, workers := range []int{1, 8} {
+			prev := parallel.SetWorkers(workers)
+			got := e.Forward(x)
+			parallel.SetWorkers(prev)
+			if len(got.Data) != len(qwantCopy) {
+				bitIdentical = false
+				return
+			}
+			for i := range qwantCopy {
+				if got.Data[i] != qwantCopy[i] {
+					bitIdentical = false
+					return
+				}
+			}
+		}
+	}
+	check(e8)
+	p8alt, err := buildPrepared(name, scale, ratio, 4096, seed, true)
+	if err != nil {
+		return int8ModelResult{}, err
+	}
+	check(p8alt.Engine())
+
+	// Quantization error against the float32 logits.
+	var maxAbs, maxErr float64
+	for _, v := range floatCopy {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for i := range qwantCopy {
+		if d := math.Abs(float64(qwantCopy[i] - floatCopy[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	tol := 0.1 * maxAbs
+	if tol == 0 {
+		tol = 1e-3
+	}
+
+	// Standalone bulk decrypt throughput over the int8 weight regions.
+	img := e8.Image()
+	var total int64
+	var dst []byte
+	for _, lp := range img.Layout.Plan.Layers {
+		r := img.Layout.Region("w:" + lp.Name)
+		total += int64(r.Size)
+		if int(r.Size) > len(dst) {
+			dst = make([]byte, r.Size)
+		}
+	}
+	dec := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			for _, lp := range img.Layout.Plan.Layers {
+				r := img.Layout.Region("w:" + lp.Name)
+				if _, err := img.DecryptRegionInto(r, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	ffwd, qfwd := fst.Forwards, qst.Forwards
+	if ffwd == 0 {
+		ffwd = 1
+	}
+	if qfwd == 0 {
+		qfwd = 1
+	}
+	fmb := float64(fst.BytesDecrypted) / float64(ffwd) / 1e6
+	qmb := float64(qst.BytesDecrypted) / float64(qfwd) / 1e6
+	r := int8ModelResult{
+		Name:                name,
+		FloatSecureNsPerOp:  fsec.NsPerOp(),
+		FloatMBDecrypted:    fmb,
+		Int8SecureNsPerOp:   qsec.NsPerOp(),
+		Int8MBDecrypted:     qmb,
+		Int8AllocsPerOp:     qsec.AllocsPerOp(),
+		Int8Speedup:         float64(fsec.NsPerOp()) / float64(qsec.NsPerOp()),
+		Int8DecryptGBPerSec: float64(total) / float64(dec.NsPerOp()),
+		LogitsBitIdentical:  bitIdentical,
+		MaxErrVsFloat:       maxErr,
+		ErrTolerance:        tol,
+		WithinTolerance:     maxErr <= tol,
+	}
+	if qmb > 0 {
+		r.DecryptCut = fmb / qmb
+	}
+	return r, nil
+}
+
+// runBenchInt8JSON measures every requested architecture float-vs-int8,
+// writes BENCH_PR8.json and returns the process exit code: nonzero when
+// the int8 logits are not bit-identical to the quantized eval forward,
+// drift outside the float tolerance, or the golden bounds fail.
+func runBenchInt8JSON(out, goldenPath string, names []string, scale, ratio float64, batch, panel int, seed uint64) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "sealinfer: bench-json: %v\n", err)
+		return 1
+	}
+	rep := int8Report{
+		Benchmark:       "Int8SecureForward",
+		Scale:           scale,
+		Ratio:           ratio,
+		Batch:           batch,
+		Workers:         parallel.Workers(),
+		AllBitIdentical: true,
+		AllWithinTol:    true,
+	}
+	minCut := 0.0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		fmt.Fprintf(os.Stderr, "sealinfer: benchmarking %s float vs int8 (scale %.3g, ratio %.0f%%, batch %d)...\n", name, scale, ratio*100, batch)
+		r, err := benchInt8Model(name, scale, ratio, batch, panel, seed)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Models = append(rep.Models, r)
+		if !r.LogitsBitIdentical {
+			rep.AllBitIdentical = false
+		}
+		if !r.WithinTolerance {
+			rep.AllWithinTol = false
+		}
+		if r.Int8Speedup > rep.BestInt8Speedup {
+			rep.BestInt8Speedup = r.Int8Speedup
+		}
+		if minCut == 0 || r.DecryptCut < minCut {
+			minCut = r.DecryptCut
+		}
+	}
+	rep.MinDecryptCut = minCut
+
+	code := 0
+	if !rep.AllBitIdentical {
+		fmt.Fprintln(os.Stderr, "sealinfer: FAIL: int8 streamed logits differ from the quantized eval forward")
+		code = 1
+	}
+	if !rep.AllWithinTol {
+		fmt.Fprintln(os.Stderr, "sealinfer: FAIL: int8 logits drift outside the float32 tolerance")
+		code = 1
+	}
+	if g, err := os.ReadFile(goldenPath); err == nil {
+		var want int8Golden
+		if err := json.Unmarshal(g, &want); err != nil {
+			return fail(fmt.Errorf("parse %s: %w", goldenPath, err))
+		}
+		match := rep.BestInt8Speedup >= want.MinInt8Speedup && rep.MinDecryptCut >= want.MinDecryptCut
+		rep.GoldenFile = goldenPath
+		rep.GoldenMatch = &match
+		if !match {
+			fmt.Fprintf(os.Stderr, "sealinfer: FAIL: best int8 speedup %.3f (want >= %.2f) or min decrypt cut %.3f (want >= %.2f) below golden\n",
+				rep.BestInt8Speedup, want.MinInt8Speedup, rep.MinDecryptCut, want.MinDecryptCut)
+			code = 1
+		}
+	} else if goldenPath != "" {
+		fmt.Fprintf(os.Stderr, "sealinfer: note: golden file %s not found, skipping golden check\n", goldenPath)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fail(err)
+	}
+	for _, r := range rep.Models {
+		fmt.Printf("%s: float secure %.1f ms/op, int8 secure %.1f ms/op (%.2fx faster), decrypt %.2f MB → %.2f MB (%.2fx cut), int8 decrypt %.2f GB/s, allocs/op %d, bit_identical=%v, max_err %.3g (tol %.3g)\n",
+			r.Name, float64(r.FloatSecureNsPerOp)/1e6, float64(r.Int8SecureNsPerOp)/1e6,
+			r.Int8Speedup, r.FloatMBDecrypted, r.Int8MBDecrypted, r.DecryptCut,
+			r.Int8DecryptGBPerSec, r.Int8AllocsPerOp, r.LogitsBitIdentical, r.MaxErrVsFloat, r.ErrTolerance)
+	}
+	fmt.Printf("wrote %s: best int8 speedup %.3fx, min decrypt cut %.3fx, all_bit_identical=%v\n",
+		out, rep.BestInt8Speedup, rep.MinDecryptCut, rep.AllBitIdentical)
+	return code
+}

@@ -56,7 +56,7 @@ type golden struct {
 // secure forward, bit-identity of the logits, and the standalone bulk
 // region-decrypt throughput.
 func benchModel(name string, scale, ratio float64, batch, panel int, seed uint64) (benchModelResult, error) {
-	p, err := buildPrepared(name, scale, ratio, panel, seed)
+	p, err := buildPrepared(name, scale, ratio, panel, seed, false)
 	if err != nil {
 		return benchModelResult{}, err
 	}

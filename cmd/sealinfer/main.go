@@ -10,7 +10,9 @@
 //	sealinfer                          # VGG-16 and ResNet-18 summary
 //	sealinfer -model vgg16 -batch 32   # one model, custom batch
 //	sealinfer -ratio 1.0               # full encryption
+//	sealinfer -int8                    # quantized int8 image + engine
 //	sealinfer -bench-json              # write BENCH_PR6.json and exit
+//	sealinfer -int8 -bench-json        # float-vs-int8, BENCH_PR8.json
 package main
 
 import (
@@ -33,26 +35,46 @@ func main() {
 		batch = flag.Int("batch", 16, "inference batch size")
 		panel = flag.Int("panel", 0, "panel byte budget (0 = engine default)")
 		seed  = flag.Uint64("seed", 42, "weight-initialization seed")
+		int8F = flag.Bool("int8", false, "seal the image in the quantized int8 layout and stream the int8 engine")
 
 		benchJSON = flag.Bool("bench-json", false, "benchmark secure vs plaintext forward, verify bit-identical logits, write the JSON report and exit")
-		benchOut  = flag.String("bench-out", "BENCH_PR6.json", "output path for -bench-json")
-		goldenF   = flag.String("golden", "testdata/secure_golden.json", "golden bounds file for -bench-json (skipped if absent)")
+		benchOut  = flag.String("bench-out", "", "output path for -bench-json (default BENCH_PR6.json, or BENCH_PR8.json with -int8)")
+		goldenF   = flag.String("golden", "", "golden bounds file for -bench-json, skipped if absent (default testdata/secure_golden.json, or testdata/int8_golden.json with -int8)")
 	)
 	flag.Parse()
 
 	names := strings.Split(*model, ",")
 	if *benchJSON {
+		if *int8F {
+			if *benchOut == "" {
+				*benchOut = "BENCH_PR8.json"
+			}
+			if *goldenF == "" {
+				*goldenF = "testdata/int8_golden.json"
+			}
+			os.Exit(runBenchInt8JSON(*benchOut, *goldenF, names, *scale, *ratio, *batch, *panel, *seed))
+		}
+		if *benchOut == "" {
+			*benchOut = "BENCH_PR6.json"
+		}
+		if *goldenF == "" {
+			*goldenF = "testdata/secure_golden.json"
+		}
 		os.Exit(runBenchJSON(*benchOut, *goldenF, names, *scale, *ratio, *batch, *panel, *seed))
 	}
 
 	for _, name := range names {
-		s, err := runOne(strings.TrimSpace(name), *scale, *ratio, *batch, *panel, *seed)
+		s, err := runOne(strings.TrimSpace(name), *scale, *ratio, *batch, *panel, *seed, *int8F)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sealinfer: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-9s scale %.3g ratio %.0f%% batch %d workers %d: plaintext %.1f ms, secure %.1f ms (%.3fx), %d panels, %.2f MB decrypted, %.2f MB bypassed, logits %s\n",
-			s.name, *scale, *ratio*100, *batch, parallel.Workers(),
+		mode := "float32"
+		if *int8F {
+			mode = "int8"
+		}
+		fmt.Printf("%-9s %s scale %.3g ratio %.0f%% batch %d workers %d: plaintext %.1f ms, secure %.1f ms (%.3fx), %d panels, %.2f MB decrypted, %.2f MB bypassed, logits %s\n",
+			s.name, mode, *scale, *ratio*100, *batch, parallel.Workers(),
 			s.plainMS, s.secureMS, s.secureMS/s.plainMS, s.stats.Panels,
 			float64(s.stats.BytesDecrypted)/1e6, float64(s.stats.BytesCopied)/1e6,
 			map[bool]string{true: "bit-identical", false: "MISMATCH"}[s.logitsEqual])
@@ -71,8 +93,10 @@ type runSummary struct {
 }
 
 // buildPrepared bundles model, SE plan, encrypted image and streaming
-// engine for one architecture through the one-call Prepare API.
-func buildPrepared(name string, scale, ratio float64, panel int, seed uint64) (*seal.Prepared, error) {
+// engine for one architecture through the one-call Prepare API. With
+// int8 the image is sealed in the quantized layout and the bundled
+// model's eval forward is the matching quantized reference.
+func buildPrepared(name string, scale, ratio float64, panel int, seed uint64, int8 bool) (*seal.Prepared, error) {
 	arch, err := seal.ArchByName(name)
 	if err != nil {
 		return nil, err
@@ -80,16 +104,26 @@ func buildPrepared(name string, scale, ratio float64, panel int, seed uint64) (*
 	arch = arch.Scale(scale, 0)
 	opts := seal.DefaultOptions()
 	opts.Ratio = ratio
-	return seal.Prepare(arch, seed,
+	popts := []seal.PrepareOption{
 		seal.WithOptions(opts),
 		seal.WithKey(seal.KeyFromString("sealinfer sealing key")),
-		seal.WithPanelBytes(panel))
+	}
+	if panel != 0 {
+		// Forward nonzero budgets (including bad negative ones, which
+		// Prepare rejects with seal.ErrBadOption) and keep 0 = default.
+		popts = append(popts, seal.WithPanelBytes(panel))
+	}
+	if int8 {
+		popts = append(popts, seal.WithInt8())
+	}
+	return seal.Prepare(arch, seed, popts...)
 }
 
 // runOne times one warm plaintext and one warm secure forward and
-// checks the logits agree bit for bit.
-func runOne(name string, scale, ratio float64, batch, panel int, seed uint64) (runSummary, error) {
-	p, err := buildPrepared(name, scale, ratio, panel, seed)
+// checks the logits agree bit for bit (against the quantized eval
+// forward when int8).
+func runOne(name string, scale, ratio float64, batch, panel int, seed uint64, int8 bool) (runSummary, error) {
+	p, err := buildPrepared(name, scale, ratio, panel, seed, int8)
 	if err != nil {
 		return runSummary{}, err
 	}

@@ -28,6 +28,7 @@ func main() {
 		ratios  = flag.String("ratios", "", "comma-separated encryption ratios (e.g. 0.9,0.5,0.1)")
 		seed    = flag.Uint64("seed", 7, "experiment seed")
 		premise = flag.Bool("premise", false, "also run the pruning-premise validation")
+		int8F   = flag.Bool("int8", false, "run the quantized-security study (float vs int8 victim) instead of the full figure suite")
 
 		benchJSON    = flag.Bool("bench-json", false, "run the train-step benchmark + reduced Fig 3 cell, write a JSON report, exit nonzero on golden mismatch")
 		benchOut     = flag.String("bench-out", "BENCH_PR5.json", "bench-json report path")
@@ -59,6 +60,18 @@ func main() {
 			}
 			cfg.Ratios = append(cfg.Ratios, v)
 		}
+	}
+
+	if *int8F {
+		start := time.Now()
+		tab, err := exp.QuantizedSecurity(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealsec: int8: %v\n", err)
+			os.Exit(1)
+		}
+		tab.Format(os.Stdout)
+		fmt.Printf("  (quantized security study in %.0fs)\n", time.Since(start).Seconds())
+		return
 	}
 
 	start := time.Now()

@@ -17,4 +17,10 @@ var (
 	// ErrModelNotFound reports a registry lookup for a model that is not
 	// (or no longer) hosted.
 	ErrModelNotFound = errors.New("seal: model not found")
+
+	// ErrBadOption reports a PrepareOption whose argument failed
+	// validation (e.g. WithPanelBytes(n) with n <= 0, or WithBatch(n)
+	// with n < 1). Prepare rejects these up front so misconfiguration
+	// surfaces at preparation time, not later from engine construction.
+	ErrBadOption = errors.New("seal: bad option")
 )

@@ -7,6 +7,7 @@ import (
 
 	"seal/internal/aes"
 	"seal/internal/models"
+	"seal/internal/tensor"
 )
 
 // MemoryImage is the functional (byte-accurate) view of a planned
@@ -53,7 +54,13 @@ func NewMemoryImage(layout *Layout, m *models.Model, key []byte) (*MemoryImage, 
 		if r == nil {
 			return nil, fmt.Errorf("core: missing weights region for %s", lp.Name)
 		}
-		if err := img.storeWeights(r, w); err != nil {
+		var err error
+		if layout.Int8 {
+			err = img.storeWeightsInt8(r, lp.Name, w)
+		} else {
+			err = img.storeWeights(r, w)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -88,6 +95,77 @@ func (img *MemoryImage) storeWeights(r *Region, w *models.WeightLayer) error {
 		}
 	}
 	return nil
+}
+
+// quantizeLayer requantizes a layer's float weights with the same
+// per-output-channel helper the nn quantized path uses, so image bytes
+// and EnableInt8 state are bit-identical by determinism — no ordering
+// requirement between EnableInt8 and image construction. The returned
+// kernel matrix is [OutC, InC·K·K] for CONV (column index c·kk+k) and
+// [Out, In] for FC.
+func quantizeLayer(w *models.WeightLayer) (*tensor.Int8Mat, []float32) {
+	spec := w.Spec
+	cols := spec.InC
+	var data []float32
+	if w.Conv != nil {
+		cols = spec.InC * spec.K * spec.K
+		data = w.Conv.Weight.W.Data
+	} else {
+		data = w.FC.Weight.W.Data
+	}
+	km := &tensor.Tensor{Shape: []int{spec.OutC, cols}, Data: data}
+	q := tensor.NewInt8Mat(spec.OutC, cols)
+	scales := make([]float32, spec.OutC)
+	tensor.QuantizeRowsInto(q, scales, km)
+	return q, scales
+}
+
+// storeWeightsInt8 serializes a layer's quantized weights kernel-row-major
+// (one byte per weight, same [channel block][out·kk+k] order as the float
+// image) and its per-output-channel scales into the plaintext qs header.
+func (img *MemoryImage) storeWeightsInt8(r *Region, name string, w *models.WeightLayer) error {
+	qs := img.Layout.Region("qs:" + name)
+	if qs == nil {
+		return fmt.Errorf("core: missing scales region for %s", name)
+	}
+	q, scales := quantizeLayer(w)
+	buf := img.bytes[r.Base]
+	spec := w.Spec
+	if w.Conv != nil {
+		kk := spec.K * spec.K
+		cols := spec.InC * kk
+		for c := 0; c < spec.InC; c++ {
+			base := uint64(c) * r.BlockBytes
+			for o := 0; o < spec.OutC; o++ {
+				row := q.Data[o*cols+c*kk : o*cols+(c+1)*kk]
+				for k, v := range row {
+					buf[base+uint64(o*kk+k)] = byte(v)
+				}
+			}
+		}
+	} else {
+		for c := 0; c < spec.InC; c++ {
+			base := uint64(c) * r.BlockBytes
+			for o := 0; o < spec.OutC; o++ {
+				buf[base+uint64(o)] = byte(q.Data[o*spec.InC+c])
+			}
+		}
+	}
+	sb := img.bytes[qs.Base]
+	for o, s := range scales {
+		binary.LittleEndian.PutUint32(sb[o*4:], math.Float32bits(s))
+	}
+	return nil
+}
+
+// scaleAt reads a layer's per-output-channel dequantization scale from
+// its plaintext qs header (1 if the layout is not quantized).
+func (img *MemoryImage) scaleAt(layer string, outIdx int) float32 {
+	qs := img.Layout.Region("qs:" + layer)
+	if qs == nil {
+		return 1
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(img.bytes[qs.Base][outIdx*4:]))
 }
 
 // encryptMarked applies the counter-mode pad to every line the layout
@@ -134,6 +212,21 @@ func (img *MemoryImage) ReadWeight(layerIdx, outIdx, inChannel, k int) (float32,
 		return 0, fmt.Errorf("core: missing weights region for %s", lp.Name)
 	}
 	kk := lp.Spec.K * lp.Spec.K
+	if img.Layout.Int8 {
+		var off uint64
+		if lp.Spec.Kind == models.KindConv {
+			off = uint64(inChannel)*r.BlockBytes + uint64(outIdx*kk+k)
+		} else {
+			off = uint64(inChannel)*r.BlockBytes + uint64(outIdx)
+		}
+		lineOff := off / LineBytes * LineBytes
+		line := img.lineScratch[:]
+		copy(line, img.bytes[r.Base][lineOff:lineOff+LineBytes])
+		if r.Encrypted(off) {
+			img.ctr.XORKeyStream(line, line, r.Base+lineOff, img.counter)
+		}
+		return float32(int8(line[off-lineOff])) * img.scaleAt(lp.Name, outIdx), nil
+	}
 	var off uint64
 	if lp.Spec.Kind == models.KindConv {
 		off = uint64(inChannel)*r.BlockBytes + uint64(outIdx*kk+k)*4
@@ -216,6 +309,18 @@ func (img *MemoryImage) SnoopWeight(layerIdx, outIdx, inChannel, k int) (float32
 		return 0, fmt.Errorf("core: missing weights region for %s", lp.Name)
 	}
 	kk := lp.Spec.K * lp.Spec.K
+	if img.Layout.Int8 {
+		// The scales header is plaintext, so the adversary dequantizes
+		// snooped bytes with the true per-channel scale — exactly the
+		// reconstruction the leak accounting must charge.
+		var off uint64
+		if lp.Spec.Kind == models.KindConv {
+			off = uint64(inChannel)*r.BlockBytes + uint64(outIdx*kk+k)
+		} else {
+			off = uint64(inChannel)*r.BlockBytes + uint64(outIdx)
+		}
+		return float32(int8(img.bytes[r.Base][off])) * img.scaleAt(lp.Name, outIdx), nil
+	}
 	var off uint64
 	if lp.Spec.Kind == models.KindConv {
 		off = uint64(inChannel)*r.BlockBytes + uint64(outIdx*kk+k)*4
@@ -267,6 +372,14 @@ func (img *MemoryImage) Audit(m *models.Model) ([]SnoopReport, error) {
 			return nil, err
 		}
 		raw := img.bytes[r.Base]
+		if img.Layout.Int8 {
+			rep, err := img.auditLayerInt8(lp, w, r, dec, raw, kk)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, rep)
+			continue
+		}
 		rep := SnoopReport{Layer: lp.Name}
 		var mismatchEnc bool
 		for c, enc := range lp.EncRows {
@@ -302,6 +415,54 @@ func (img *MemoryImage) Audit(m *models.Model) ([]SnoopReport, error) {
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// auditLayerInt8 is Audit's per-layer compare for quantized images: the
+// reference is the deterministic requantization of the model weights,
+// so every plaintext-row byte must be bus-recoverable exactly, every
+// byte must decrypt to the reference with the key, and the plaintext
+// scales header must hold the reference scales bit-for-bit.
+func (img *MemoryImage) auditLayerInt8(lp *LayerPlan, w *models.WeightLayer, r *Region, dec, raw []byte, kk int) (SnoopReport, error) {
+	q, scales := quantizeLayer(w)
+	spec := w.Spec
+	cols := q.Cols
+	for o, s := range scales {
+		if stored := img.scaleAt(lp.Name, o); stored != s {
+			return SnoopReport{}, fmt.Errorf("core: %s scale %d stored as %v, want %v", lp.Name, o, stored, s)
+		}
+	}
+	rep := SnoopReport{Layer: lp.Name}
+	var mismatchEnc bool
+	for c, enc := range lp.EncRows {
+		if enc {
+			rep.RowsProtected++
+		} else {
+			rep.RowsLeaked++
+			rep.WeightsLeaked += int64(spec.OutC * kk)
+		}
+		rep.WeightsTotal += int64(spec.OutC * kk)
+		base := uint64(c) * r.BlockBytes
+		for o := 0; o < spec.OutC; o++ {
+			for k := 0; k < kk; k++ {
+				truth := q.Data[o*cols+c*kk+k]
+				off := base + uint64(o*kk+k)
+				if decv := int8(dec[off]); decv != truth {
+					return SnoopReport{}, fmt.Errorf("core: %s (%d,%d,%d) decrypts to %d, want %d", lp.Name, o, c, k, decv, truth)
+				}
+				snooped := int8(raw[off])
+				if !enc && snooped != truth {
+					return SnoopReport{}, fmt.Errorf("core: %s plaintext row %d not bus-recoverable", lp.Name, c)
+				}
+				if enc && snooped != truth {
+					mismatchEnc = true
+				}
+			}
+		}
+	}
+	if rep.RowsProtected > 0 && !mismatchEnc {
+		return SnoopReport{}, fmt.Errorf("core: %s encrypted rows identical on the bus — encryption missing", lp.Name)
+	}
+	return rep, nil
 }
 
 func weightAt(w *models.WeightLayer, o, c, k int) float32 {

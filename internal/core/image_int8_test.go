@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seal/internal/models"
+)
+
+func buildInt8Image(t testing.TB, ratio float64) (*MemoryImage, *models.Model) {
+	t.Helper()
+	m := buildSmall(t, models.VGG16Arch(), 57)
+	opts := DefaultOptions()
+	opts.Ratio = ratio
+	p := mustPlan(t, m, opts)
+	l, err := NewInt8Layout(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := NewMemoryImage(l, m, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, m
+}
+
+// TestInt8ImageAuditPasses runs the byte-level audit of the quantized
+// image: every plaintext-row byte bus-recoverable, every byte decrypts
+// to the deterministic requantization, scales header exact.
+func TestInt8ImageAuditPasses(t *testing.T) {
+	img, m := buildInt8Image(t, 0.5)
+	reports, err := img.Audit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(img.Layout.Plan.Layers) {
+		t.Fatalf("reports for %d layers, want %d", len(reports), len(img.Layout.Plan.Layers))
+	}
+}
+
+// TestInt8ReadWeightDequantizes checks the controller-side read path:
+// every decrypted int8 weight dequantizes to within half a quantization
+// step of the true float weight (the round-to-nearest bound).
+func TestInt8ReadWeightDequantizes(t *testing.T) {
+	img, m := buildInt8Image(t, 0.5)
+	for li, lp := range img.Layout.Plan.Layers {
+		w := m.WeightLayers[li]
+		spec := w.Spec
+		kk := spec.K * spec.K
+		if spec.Kind == models.KindFC {
+			kk = 1
+		}
+		for o := 0; o < spec.OutC; o += 3 {
+			scale := img.scaleAt(lp.Name, o)
+			for c := 0; c < spec.InC; c += 2 {
+				for k := 0; k < kk; k++ {
+					got, err := img.ReadWeight(li, o, c, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					truth := weightAt(w, o, c, k)
+					if d := math.Abs(float64(got - truth)); d > float64(scale)/2*1.0001 {
+						t.Fatalf("%s (%d,%d,%d): read %v, true %v, step %v", lp.Name, o, c, k, got, truth, scale)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInt8SnoopMatchesThreatModel pins what the quantized image leaks:
+// plaintext rows are bus-recoverable via the public scales header, and
+// every encrypted row differs somewhere on the bus.
+func TestInt8SnoopMatchesThreatModel(t *testing.T) {
+	img, m := buildInt8Image(t, 0.5)
+	for li, lp := range img.Layout.Plan.Layers {
+		w := m.WeightLayers[li]
+		spec := w.Spec
+		kk := spec.K * spec.K
+		if spec.Kind == models.KindFC {
+			kk = 1
+		}
+		for c, enc := range lp.EncRows {
+			differs := false
+			for o := 0; o < spec.OutC; o++ {
+				for k := 0; k < kk; k++ {
+					snooped, err := img.SnoopWeight(li, o, c, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					read, err := img.ReadWeight(li, o, c, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !enc && snooped != read {
+						t.Fatalf("%s plaintext row %d: snoop %v != read %v", lp.Name, c, snooped, read)
+					}
+					if enc && snooped != read {
+						differs = true
+					}
+				}
+			}
+			if enc && !differs {
+				t.Fatalf("%s encrypted row %d identical on the bus", lp.Name, c)
+			}
+		}
+	}
+}
+
+// TestInt8LayoutShrinksWeightRegions quantifies the traffic cut: total
+// int8 weight-region bytes must be well under the float layout's (4×
+// per weight before 64-byte line alignment), and every weight layer
+// must carry a plaintext scales header.
+func TestInt8LayoutShrinksWeightRegions(t *testing.T) {
+	m := buildSmall(t, models.VGG16Arch(), 58)
+	opts := DefaultOptions()
+	opts.Ratio = 0.5
+	p := mustPlan(t, m, opts)
+	lf := mustLayout(t, p, 1)
+	l8, err := NewInt8Layout(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb, qb uint64
+	for _, lp := range p.Layers {
+		rf := lf.Region("w:" + lp.Name)
+		r8 := l8.Region("w:" + lp.Name)
+		fb += rf.Size
+		qb += r8.Size
+		qs := l8.Region("qs:" + lp.Name)
+		if qs == nil {
+			t.Fatalf("%s missing qs region", lp.Name)
+		}
+		if qs.Encrypted(0) {
+			t.Fatalf("%s scales header is encrypted", lp.Name)
+		}
+		if lf.Region("qs:"+lp.Name) != nil {
+			t.Fatalf("%s float layout has a qs region", lp.Name)
+		}
+	}
+	if ratio := float64(fb) / float64(qb); ratio < 2.5 {
+		t.Fatalf("weight bytes only shrank %.2fx (float %d, int8 %d)", ratio, fb, qb)
+	}
+}

@@ -175,8 +175,17 @@ func (a *AddressSpace) End() uint64 { return a.next }
 // blocks. It provides the Protected predicate the GPU simulator consults
 // per bus transfer.
 type Layout struct {
-	Plan   *Plan
-	Batch  int
+	Plan  *Plan
+	Batch int
+	// Int8 marks the quantized image format: weight regions hold one
+	// int8 byte per weight (same kernel-row block structure, so the
+	// plan's EncRows bitmaps apply unchanged) and each weight layer
+	// carries a plaintext "qs:<name>" header region with its
+	// per-output-channel float32 dequantization scales. Scales are
+	// public by design — the paper's threat model protects the weight
+	// values; a per-channel magnitude reveals nothing the ℓ1 ranking
+	// has not already conceded for plaintext rows.
+	Int8   bool
 	space  *AddressSpace
 	byName map[string]*Region
 	sorted []*Region // by Base, for lookup
@@ -188,10 +197,23 @@ type Layout struct {
 // inheriting the channel encryption of the feature map flowing through
 // them (pooling is per-channel, so ciphertext channels stay ciphertext).
 func NewLayout(p *Plan, batch int) (*Layout, error) {
+	return newLayout(p, batch, false)
+}
+
+// NewInt8Layout materializes the quantized address space: weight blocks
+// shrink to one byte per weight (a 4× cut in protected weight traffic
+// before line alignment) and each weight layer gains a plaintext
+// "qs:<name>" scales header. Feature maps and im2col scratch stay
+// float32 — activations are quantized transiently on-chip, never stored.
+func NewInt8Layout(p *Plan, batch int) (*Layout, error) {
+	return newLayout(p, batch, true)
+}
+
+func newLayout(p *Plan, batch int, int8Mode bool) (*Layout, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("core: non-positive batch %d", batch)
 	}
-	l := &Layout{Plan: p, Batch: batch, space: NewAddressSpace(0), byName: map[string]*Region{}}
+	l := &Layout{Plan: p, Batch: batch, Int8: int8Mode, space: NewAddressSpace(0), byName: map[string]*Region{}}
 	add := func(r *Region) { l.byName[r.Name] = r }
 
 	// network input image: public (the querying party supplies it), but
@@ -211,13 +233,20 @@ func NewLayout(p *Plan, batch int) (*Layout, error) {
 			}
 			lp := p.Layers[wi]
 			wi++
+			weightBytes := uint64(4)
+			if int8Mode {
+				weightBytes = 1
+			}
 			var rowBytes uint64
 			if s.Kind == models.KindConv {
-				rowBytes = uint64(s.OutC*s.K*s.K) * 4
+				rowBytes = uint64(s.OutC*s.K*s.K) * weightBytes
 			} else {
-				rowBytes = uint64(s.OutC) * 4
+				rowBytes = uint64(s.OutC) * weightBytes
 			}
 			add(l.space.EMallocBlocks("w:"+lp.Name, RegionWeights, rowBytes, lp.EncRows))
+			if int8Mode {
+				add(l.space.Malloc("qs:"+lp.Name, uint64(s.OutC)*4))
+			}
 			if s.Kind == models.KindConv {
 				colBytes := uint64(batch*s.K*s.K*s.OutH()*s.OutW()) * 4
 				add(l.space.EMallocBlocks("cols:"+lp.Name, RegionCols, colBytes, lp.InEnc))
@@ -245,7 +274,8 @@ func NewLayout(p *Plan, batch int) (*Layout, error) {
 }
 
 // Region returns the named region ("w:<layer>", "fmap:<layer>",
-// "cols:<layer>", "fmap:input"), or nil.
+// "cols:<layer>", "fmap:input", and in int8 layouts "qs:<layer>"),
+// or nil.
 func (l *Layout) Region(name string) *Region { return l.byName[name] }
 
 // Regions returns all regions in address order.

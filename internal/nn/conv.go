@@ -35,6 +35,11 @@ type Conv2D struct {
 	infWS  []*convWorkspace
 	infOut *tensor.Tensor
 
+	// quantized eval path (EnableInt8): frozen int8 weights and the
+	// per-chunk scratch arenas of the int8 inference kernel.
+	q8     *int8Weights
+	int8WS []*convInt8WS
+
 	// training workspaces (DESIGN §13): the same ownership rule as the
 	// inference path — trainOut is valid until the next train Forward,
 	// the Backward result until the next Backward — makes the warm
@@ -174,6 +179,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	oh, ow := g.OutH(), g.OutW()
 	if !train {
+		if c.q8 != nil {
+			return c.forwardInferInt8(x, n)
+		}
 		return c.forwardInfer(x, n)
 	}
 	// Training buffers follow the same ownership rule as the inference
@@ -436,6 +444,10 @@ type Linear struct {
 	fwdPanel []float32      // MatMulPanelLen(In)
 	dxPanel  []float32      // MatMulPanelLen(Out)
 	aScratch []float32      // MatMulTransAScratchLen(N, Out), grown with N
+
+	// quantized eval path (EnableInt8)
+	q8     *int8Weights
+	int8WS *linearInt8WS
 }
 
 // NewLinear constructs a fully-connected layer with He initialization.
@@ -469,6 +481,9 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.x = nil
 	}
 	n := x.Dim(0)
+	if !train && l.q8 != nil {
+		return l.forwardInt8(x, n)
+	}
 	out := l.out
 	if out == nil || out.Shape[0] != n {
 		out = tensor.New(n, l.Out)

@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"seal/internal/parallel"
+	"seal/internal/tensor"
+)
+
+// Int8 eval-mode forward paths. EnableInt8 quantizes a layer's weights
+// once — per-output-channel symmetric scales, packed into the dual-lane
+// GEMM layout — and switches its inference Forward to int8 arithmetic:
+// activations are quantized per item (conv) or per row (FC) with a
+// dynamic symmetric scale, multiplied in int8 with exact int32
+// accumulation, and dequantized back to float32 before bias/activation
+// so the rest of the network is untouched. Per-item activation scales
+// keep every sample's logits independent of its batchmates — required
+// by the serving gateway's dynamic batching. Training always runs the
+// float path; EnableInt8 snapshots the weights at call time.
+//
+// The quantize → GEMM → dequantize op sequence here is shared, helper
+// for helper, with the secure engine's int8 streaming mode: int32
+// accumulation is exact, and the float ops (quantize, dequantize, bias)
+// run in the same order, so engine logits are bit-identical to this
+// path's.
+
+// int8Weights is a layer's frozen quantized weight state.
+type int8Weights struct {
+	wq     *tensor.Int8Mat // kernel matrix, [Out, K]
+	scales []float32       // per-output-row quantization scales
+	packed []int64         // PackInt8BInto layout of wq
+}
+
+func quantizeWeights(wMat *tensor.Tensor) *int8Weights {
+	rows, cols := wMat.Shape[0], wMat.Shape[1]
+	q := &int8Weights{
+		wq:     tensor.NewInt8Mat(rows, cols),
+		scales: make([]float32, rows),
+		packed: make([]int64, tensor.PackedBLen(rows, cols)),
+	}
+	tensor.QuantizeRowsInto(q.wq, q.scales, wMat)
+	tensor.PackInt8BInto(q.packed, q.wq)
+	return q
+}
+
+// convInt8WS is the per-chunk scratch arena of the quantized conv
+// inference path; like convWorkspace, each concurrent chunk owns one.
+type convInt8WS struct {
+	qimg   []int8          // quantized input item [InC*InH*InW]
+	cols   *tensor.Int8Mat // transposed im2col [OutH*OutW, InC*KH*KW]
+	acc    []int32         // GEMM accumulators [OutH*OutW, OutC]
+	outMat *tensor.Tensor  // dequantized staging [OutC, OutH*OutW]
+	gemm   *tensor.Int8GEMMWS
+}
+
+func (c *Conv2D) newInt8WS() *convInt8WS {
+	g := c.Geom
+	kk := g.InC * g.KH * g.KW
+	ncols := g.OutH() * g.OutW()
+	return &convInt8WS{
+		qimg:   make([]int8, g.InC*g.InH*g.InW),
+		cols:   tensor.NewInt8Mat(ncols, kk),
+		acc:    make([]int32, ncols*c.OutC),
+		outMat: tensor.New(c.OutC, ncols),
+		gemm:   tensor.NewInt8GEMMWS(ncols, kk, 0),
+	}
+}
+
+// EnableInt8 freezes the current weights into the quantized eval path.
+// Subsequent inference Forwards run int8; training is unaffected.
+func (c *Conv2D) EnableInt8() {
+	c.q8 = quantizeWeights(c.kernelMat())
+}
+
+// Int8Enabled reports whether the quantized eval path is active.
+func (c *Conv2D) Int8Enabled() bool { return c.q8 != nil }
+
+// Int8Weights exposes the frozen quantized kernel matrix and its
+// per-output-channel scales (for layout construction and tests).
+func (c *Conv2D) Int8Weights() (*tensor.Int8Mat, []float32) {
+	if c.q8 == nil {
+		return nil, nil
+	}
+	return c.q8.wq, c.q8.scales
+}
+
+// forwardInferInt8 mirrors forwardInfer with the quantized kernel:
+// same chunking, same workspace discipline, zero allocations warm.
+func (c *Conv2D) forwardInferInt8(x *tensor.Tensor, n int) *tensor.Tensor {
+	c.trained = false
+	out := c.infOut
+	if out == nil || out.Shape[0] != n {
+		out = tensor.New(n, c.OutC, c.Geom.OutH(), c.Geom.OutW())
+		c.infOut = out
+	}
+	nchunks := parallel.Workers()
+	if nchunks > n {
+		nchunks = n
+	}
+	for len(c.int8WS) < nchunks {
+		c.int8WS = append(c.int8WS, c.newInt8WS())
+	}
+	if nchunks == 1 {
+		c.inferRangeInt8(out, x, 0, n, c.int8WS[0])
+		return out
+	}
+	grain := (n + nchunks - 1) / nchunks
+	parallel.For(n, grain, func(lo, hi int) {
+		c.inferRangeInt8(out, x, lo, hi, c.int8WS[lo/grain])
+	})
+	return out
+}
+
+// inferRangeInt8 runs quantized conv inference for batch items
+// [lo, hi): quantize the item with its own dynamic scale, expand to the
+// transposed im2col layout, one int8 GEMM against the prepacked
+// weights, dequantize-transpose into the float staging matrix, then the
+// float bias adds in the float path's exact order.
+func (c *Conv2D) inferRangeInt8(out, x *tensor.Tensor, lo, hi int, ws *convInt8WS) {
+	g := c.Geom
+	q := c.q8
+	oh, ow := g.OutH(), g.OutW()
+	perIn := g.InC * g.InH * g.InW
+	perOut := c.OutC * oh * ow
+	for i := lo; i < hi; i++ {
+		in := x.Data[i*perIn : (i+1)*perIn]
+		s := tensor.QuantScale(tensor.MaxAbsSlice(in))
+		tensor.QuantizeSliceInto(ws.qimg, in, s)
+		tensor.Im2ColTransInt8Into(ws.cols, ws.qimg, g)
+		tensor.MatMulInt8TransBPrepackedAcc(ws.acc, ws.cols, 0, q.packed, q.wq, false, ws.gemm)
+		tensor.DequantizeTransposeInto(ws.outMat, ws.acc, q.scales, s)
+		copy(out.Data[i*perOut:(i+1)*perOut], ws.outMat.Data)
+		if c.UseBias {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.W.Data[oc]
+				base := (i*c.OutC + oc) * oh * ow
+				for j := 0; j < oh*ow; j++ {
+					out.Data[base+j] += b
+				}
+			}
+		}
+	}
+}
+
+// EnableInt8 freezes the current weights into the quantized eval path.
+func (l *Linear) EnableInt8() {
+	l.q8 = quantizeWeights(l.Weight.W)
+}
+
+// Int8Enabled reports whether the quantized eval path is active.
+func (l *Linear) Int8Enabled() bool { return l.q8 != nil }
+
+// Int8Weights exposes the frozen quantized weight matrix and its
+// per-output scales.
+func (l *Linear) Int8Weights() (*tensor.Int8Mat, []float32) {
+	if l.q8 == nil {
+		return nil, nil
+	}
+	return l.q8.wq, l.q8.scales
+}
+
+// forwardInt8 is the quantized FC forward: per-row dynamic activation
+// scales (logits independent of batchmates), one int8 GEMM, dequantize
+// with rowScale·colScale, float bias adds in the float path's order.
+func (l *Linear) forwardInt8(x *tensor.Tensor, n int) *tensor.Tensor {
+	out := l.out
+	if out == nil || out.Shape[0] != n {
+		out = tensor.New(n, l.Out)
+		l.out = out
+	}
+	ws := l.int8WS
+	if ws == nil {
+		ws = &linearInt8WS{gemm: tensor.NewInt8GEMMWS(n, l.In, 0)}
+		l.int8WS = ws
+	}
+	if ws.qx == nil || ws.qx.Rows < n {
+		ws.qx = tensor.NewInt8Mat(n, l.In)
+		ws.rowScales = make([]float32, n)
+		ws.acc = make([]int32, n*l.Out)
+	}
+	qx := ws.qx
+	if qx.Rows != n {
+		qx = &tensor.Int8Mat{Rows: n, Cols: l.In, Data: ws.qx.Data[:n*l.In]}
+	}
+	for i := 0; i < n; i++ {
+		row := x.Data[i*l.In : (i+1)*l.In]
+		s := tensor.QuantScale(tensor.MaxAbsSlice(row))
+		ws.rowScales[i] = s
+		tensor.QuantizeSliceInto(qx.Data[i*l.In:(i+1)*l.In], row, s)
+	}
+	tensor.MatMulInt8TransBPrepackedAcc(ws.acc[:n*l.Out], qx, 0, l.q8.packed, l.q8.wq, false, ws.gemm)
+	tensor.DequantizeInto(out, ws.acc, ws.rowScales, l.q8.scales)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	return out
+}
+
+// linearInt8WS is the reusable scratch of the quantized FC path.
+type linearInt8WS struct {
+	qx        *tensor.Int8Mat
+	rowScales []float32
+	acc       []int32
+	gemm      *tensor.Int8GEMMWS
+}
+
+// EnableInt8 switches every Conv2D and Linear under root to the
+// quantized eval path (training is unaffected). It must be called after
+// the weights reach their final values; call it again to re-freeze.
+func EnableInt8(root Module) {
+	WalkModules(root, func(m Module) {
+		switch l := m.(type) {
+		case *Conv2D:
+			l.EnableInt8()
+		case *Linear:
+			l.EnableInt8()
+		}
+	})
+}
+
+// Int8Enabled reports whether every weight layer under root has the
+// quantized eval path active (false for a network with no weight
+// layers).
+func Int8Enabled(root Module) bool {
+	any, all := false, true
+	WalkModules(root, func(m Module) {
+		switch l := m.(type) {
+		case *Conv2D:
+			any = true
+			all = all && l.Int8Enabled()
+		case *Linear:
+			any = true
+			all = all && l.Int8Enabled()
+		}
+	})
+	return any && all
+}

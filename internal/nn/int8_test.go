@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"seal/internal/parallel"
+	"seal/internal/prng"
+	"seal/internal/tensor"
+)
+
+// int8ConvTolerance bounds the per-element error of the quantized conv
+// forward against the float path: each of the K = InC·KH·KW products
+// carries at most half an activation step plus half a weight step of
+// rounding, so the accumulated error is ≤ K·(sa·|w|max + sw·|a|max)/2
+// to first order. The helper derives the bound from the layer's actual
+// scales rather than hard-coding a magic constant.
+func int8ConvBound(c *Conv2D, x *tensor.Tensor) float64 {
+	_, scales := c.Int8Weights()
+	var sw float64
+	for _, s := range scales {
+		if float64(s) > sw {
+			sw = float64(s)
+		}
+	}
+	sa := float64(tensor.QuantScale(tensor.MaxAbsSlice(x.Data)))
+	wMax := float64(c.Weight.W.MaxAbs())
+	aMax := float64(tensor.MaxAbsSlice(x.Data))
+	k := float64(c.Geom.InC * c.Geom.KH * c.Geom.KW)
+	return k * (sa*wMax + sw*aMax + sa*sw*float64(tensor.QMaxInt8)) / 2
+}
+
+// TestConvInt8CloseToFloat verifies the quantized conv forward stays
+// within the derived rounding bound of the float reference.
+func TestConvInt8CloseToFloat(t *testing.T) {
+	r := prng.New(41)
+	c := NewConv2D("conv", r, 8, 16, 3, 1, 1, 12, 12)
+	x := randomBatch(r, 3, 8, 12, 12)
+	want := c.Forward(x, false).Clone()
+	c.EnableInt8()
+	got := c.Forward(x, false)
+	bound := int8ConvBound(c, x)
+	for i := range want.Data {
+		if d := math.Abs(float64(want.Data[i] - got.Data[i])); d > bound {
+			t.Fatalf("element %d differs by %g (bound %g): float %v int8 %v", i, d, bound, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// TestLinearInt8CloseToFloat is the FC analogue, and additionally pins
+// batch independence: a sample's int8 logits must not change when it is
+// batched with different neighbors (per-row activation scales).
+func TestLinearInt8CloseToFloat(t *testing.T) {
+	r := prng.New(42)
+	l := NewLinear("fc", r, 64, 10)
+	x := randomBatch(r, 4, 64)
+	want := l.Forward(x, false).Clone()
+	l.EnableInt8()
+	got := l.Forward(x, false).Clone()
+	var sw float64
+	_, scales := l.Int8Weights()
+	for _, s := range scales {
+		if float64(s) > sw {
+			sw = float64(s)
+		}
+	}
+	for i := range want.Data {
+		row := i / l.Out
+		xr := x.Data[row*l.In : (row+1)*l.In]
+		sa := float64(tensor.QuantScale(tensor.MaxAbsSlice(xr)))
+		bound := float64(l.In) * (sa*float64(l.Weight.W.MaxAbs()) + sw*float64(tensor.MaxAbsSlice(xr)) + sa*sw*float64(tensor.QMaxInt8)) / 2
+		if d := math.Abs(float64(want.Data[i] - got.Data[i])); d > bound {
+			t.Fatalf("element %d differs by %g (bound %g)", i, d, bound)
+		}
+	}
+
+	// Batch independence: run row 2 alone and compare bitwise.
+	solo := tensor.New(1, 64)
+	copy(solo.Data, x.Data[2*64:3*64])
+	soloOut := l.Forward(solo, false)
+	for j := 0; j < l.Out; j++ {
+		if soloOut.Data[j] != got.Data[2*l.Out+j] {
+			t.Fatalf("logit %d depends on batchmates: solo %v batched %v", j, soloOut.Data[j], got.Data[2*l.Out+j])
+		}
+	}
+}
+
+// TestConvInt8ParallelDeterministic verifies int8 conv inference is
+// bit-identical across worker counts (int32 accumulation is exact, and
+// per-item float ops are item-local).
+func TestConvInt8ParallelDeterministic(t *testing.T) {
+	r := prng.New(43)
+	c := NewConv2D("conv", r, 4, 8, 3, 1, 1, 11, 11)
+	c.EnableInt8()
+	x := randomBatch(r, 5, 4, 11, 11)
+	prev := parallel.SetWorkers(1)
+	serial := c.Forward(x, false).Clone()
+	parallel.SetWorkers(8)
+	par := c.Forward(x, false)
+	parallel.SetWorkers(prev)
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatalf("element %d differs: serial %v parallel %v", i, serial.Data[i], par.Data[i])
+		}
+	}
+}
+
+// TestConvInt8ZeroAllocs pins the quantized inference path to zero
+// heap allocations per warm call, like the float path.
+func TestConvInt8ZeroAllocs(t *testing.T) {
+	r := prng.New(44)
+	c := NewConv2D("conv", r, 8, 16, 3, 1, 1, 16, 16)
+	c.EnableInt8()
+	x := randomBatch(r, 2, 8, 16, 16)
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	c.Forward(x, false)
+	allocs := testing.AllocsPerRun(20, func() {
+		c.Forward(x, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("int8 conv Forward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestLinearInt8ZeroAllocs pins the quantized FC path.
+func TestLinearInt8ZeroAllocs(t *testing.T) {
+	r := prng.New(45)
+	l := NewLinear("fc", r, 128, 10)
+	l.EnableInt8()
+	x := randomBatch(r, 4, 128)
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	l.Forward(x, false)
+	allocs := testing.AllocsPerRun(20, func() {
+		l.Forward(x, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("int8 linear Forward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEnableInt8Walk checks the module-tree walk flips every weight
+// layer, and that training still runs the float path afterwards.
+func TestEnableInt8Walk(t *testing.T) {
+	r := prng.New(46)
+	net := &Sequential{Name: "net"}
+	net.Add(NewConv2D("c1", r, 3, 8, 3, 1, 1, 8, 8))
+	net.Add(NewReLU("r1"))
+	net.Add(NewFlatten("f"))
+	net.Add(NewLinear("fc", r, 8*8*8, 10))
+	if Int8Enabled(net) {
+		t.Fatal("Int8Enabled true before EnableInt8")
+	}
+	EnableInt8(net)
+	if !Int8Enabled(net) {
+		t.Fatal("Int8Enabled false after EnableInt8")
+	}
+	x := randomBatch(r, 2, 3, 8, 8)
+	out := net.Forward(x, true) // train mode must still be float
+	if out == nil {
+		t.Fatal("train forward returned nil")
+	}
+}

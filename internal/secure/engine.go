@@ -62,21 +62,23 @@ type step struct {
 
 // convStep streams one convolution layer from its weight region.
 type convStep struct {
-	layer  *nn.Conv2D
-	region *core.Region
-	kk     int // KH*KW: kernel-matrix columns per input channel
-	cpp    int // channels (kernel-row blocks) per panel
-	panels int
-	out    *tensor.Tensor // engine-owned [N, OutC, OutH, OutW]
+	layer   *nn.Conv2D
+	region  *core.Region
+	kk      int // KH*KW: kernel-matrix columns per input channel
+	cpp     int // channels (kernel-row blocks) per panel
+	panels  int
+	out     *tensor.Tensor // engine-owned [N, OutC, OutH, OutW]
+	qscales []float32      // int8 mode: per-output-channel scales from qs header
 }
 
 // fcStep streams one fully-connected layer from its weight region.
 type fcStep struct {
-	layer  *nn.Linear
-	region *core.Region
-	cpp    int // input features per panel
-	panels int
-	out    *tensor.Tensor // engine-owned [N, Out]
+	layer   *nn.Linear
+	region  *core.Region
+	cpp     int // input features per panel
+	panels  int
+	out     *tensor.Tensor // engine-owned [N, Out]
+	qscales []float32      // int8 mode: per-output scales from qs header
 }
 
 // blockStep streams a residual block: its convolutions run from the
@@ -125,6 +127,44 @@ type Engine struct {
 	maxPanelBytes    int
 	maxScratchFloats int
 
+	// int8 streaming mode (img.Layout.Int8): weight panels decrypt as
+	// one byte per weight and feed the dual-lane int8 GEMM; activations
+	// are quantized per item with dynamic symmetric scales, exactly as
+	// the nn quantized eval path does, so logits are bit-identical to it.
+	int8      bool
+	convSteps []*convStep
+	fcSteps   []*fcStep
+
+	// per-item int8 state, grown on batch change
+	qimgBuf  [][]int8          // quantized input staging
+	qcolsBuf [][]int8          // transposed im2col backing
+	qcolsHdr []*tensor.Int8Mat // headers over qcolsBuf
+	accBuf   [][]int32         // conv int32 accumulators [ncols*OutC]
+	actScale []float32         // conv per-item / FC per-row activation scale
+
+	// FC int8 state (whole-batch GEMM)
+	qxBuf []int8          // quantized FC activations [batch*maxFCIn]
+	qxHdr *tensor.Int8Mat // header over qxBuf
+	fcAcc []int32         // FC accumulators [batch*maxFCOut]
+
+	// double-buffered int8 weight panels + their packed dual-lane words
+	qwbuf [2][]int8
+	qwHdr [2]*tensor.Int8Mat
+	qpack [2][]int64
+
+	// per-chunk int8 GEMM workspaces and dequantize staging
+	int8WS []*tensor.Int8GEMMWS
+	deqBuf [][]float32
+	deqHdr []*tensor.Tensor
+
+	maxQImg      int
+	maxQCols     int
+	maxAccInts   int
+	maxPanelInt8 int
+	maxPacked    int
+	maxFCIn      int
+	maxFCOut     int
+
 	stats Stats
 }
 
@@ -159,7 +199,7 @@ func NewEngine(img *core.MemoryImage, m *models.Model, panelBytes int) (*Engine,
 			fcRegion[w.FC] = r
 		}
 	}
-	e := &Engine{img: img, model: m, panelBytes: panelBytes}
+	e := &Engine{img: img, model: m, panelBytes: panelBytes, int8: img.Layout.Int8}
 	matched := 0
 	newConv := func(c *nn.Conv2D) (*convStep, error) {
 		r, ok := convRegion[c]
@@ -208,11 +248,17 @@ func NewEngine(img *core.MemoryImage, m *models.Model, panelBytes int) (*Engine,
 	if matched != len(layers) {
 		return nil, fmt.Errorf("secure: matched %d of %d weight layers in the network", matched, len(layers))
 	}
+	e.byteBuf = make([]byte, e.maxPanelBytes)
+	if e.int8 {
+		if err := e.initInt8(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
 	e.wbuf[0] = make([]float32, e.maxPanelFloats)
 	e.wbuf[1] = make([]float32, e.maxPanelFloats)
 	e.wHdr[0] = &tensor.Tensor{}
 	e.wHdr[1] = &tensor.Tensor{}
-	e.byteBuf = make([]byte, e.maxPanelBytes)
 	return e, nil
 }
 
@@ -224,6 +270,22 @@ func (e *Engine) addConvStep(c *nn.Conv2D, r *core.Region) *convStep {
 	cs := &convStep{layer: c, region: r, kk: kk}
 	cs.cpp, cs.panels = panelSplit(e.panelBytes, int(r.BlockBytes), g.InC)
 	ncols := g.OutH() * g.OutW()
+	e.convSteps = append(e.convSteps, cs)
+	if e.int8 {
+		// Keep every panel inside the packed GEMM's single-call depth so
+		// the streaming path never hits the splitting fallback.
+		if maxCpp := tensor.MaxInt8PanelDepth / kk; cs.cpp > maxCpp {
+			cs.cpp = maxCpp
+			cs.panels = (g.InC + cs.cpp - 1) / cs.cpp
+		}
+		e.grow(&e.maxQImg, g.InC*g.InH*g.InW)
+		e.grow(&e.maxQCols, g.InC*kk*ncols)
+		e.grow(&e.maxAccInts, c.OutC*ncols)
+		e.grow(&e.maxPanelInt8, c.OutC*cs.cpp*kk)
+		e.grow(&e.maxPacked, tensor.PackedBLen(c.OutC, cs.cpp*kk))
+		e.grow(&e.maxPanelBytes, cs.cpp*int(r.BlockBytes))
+		return cs
+	}
 	e.grow(&e.maxColsFloats, g.InC*kk*ncols)
 	e.grow(&e.maxPanelFloats, c.OutC*cs.cpp*kk)
 	e.grow(&e.maxPanelBytes, cs.cpp*int(r.BlockBytes))
@@ -235,6 +297,19 @@ func (e *Engine) addConvStep(c *nn.Conv2D, r *core.Region) *convStep {
 func (e *Engine) addFCStep(l *nn.Linear, r *core.Region) *fcStep {
 	fs := &fcStep{layer: l, region: r}
 	fs.cpp, fs.panels = panelSplit(e.panelBytes, int(r.BlockBytes), l.In)
+	e.fcSteps = append(e.fcSteps, fs)
+	if e.int8 {
+		if fs.cpp > tensor.MaxInt8PanelDepth {
+			fs.cpp = tensor.MaxInt8PanelDepth
+			fs.panels = (l.In + fs.cpp - 1) / fs.cpp
+		}
+		e.grow(&e.maxPanelInt8, l.Out*fs.cpp)
+		e.grow(&e.maxPacked, tensor.PackedBLen(l.Out, fs.cpp))
+		e.grow(&e.maxPanelBytes, fs.cpp*int(r.BlockBytes))
+		e.grow(&e.maxFCIn, l.In)
+		e.grow(&e.maxFCOut, l.Out)
+		return fs
+	}
 	e.grow(&e.maxPanelFloats, l.Out*fs.cpp)
 	e.grow(&e.maxPanelBytes, fs.cpp*int(r.BlockBytes))
 	return fs
@@ -274,6 +349,18 @@ func (e *Engine) ResetStats() { e.stats = Stats{} }
 // PanelBytes returns the configured panel byte budget.
 func (e *Engine) PanelBytes() int { return e.panelBytes }
 
+// Int8 reports whether the engine streams a quantized image.
+func (e *Engine) Int8() bool { return e.int8 }
+
+// convForward dispatches a streamed convolution to the float or int8
+// pipeline according to the image format.
+func (e *Engine) convForward(cs *convStep, x *tensor.Tensor) *tensor.Tensor {
+	if e.int8 {
+		return e.runConvInt8(cs, x)
+	}
+	return e.runConv(cs, x)
+}
+
 // Forward runs the streamed secure forward pass on a batch
 // [N, C, H, W] and returns the logits, bit-identical to
 // model.Forward(x, false). The returned tensor is valid until the next
@@ -284,9 +371,13 @@ func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
 		s := &e.steps[i]
 		switch {
 		case s.conv != nil:
-			x = e.runConv(s.conv, x)
+			x = e.convForward(s.conv, x)
 		case s.fc != nil:
-			x = e.runFC(s.fc, x)
+			if e.int8 {
+				x = e.runFCInt8(s.fc, x)
+			} else {
+				x = e.runFC(s.fc, x)
+			}
 		case s.blk != nil:
 			x = e.runBlock(s.blk, x)
 		default:
@@ -301,16 +392,20 @@ func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
 // the per-chunk scratch pool to the current fan-out width. Warm calls
 // with a stable batch and pool width allocate nothing.
 func (e *Engine) ensureBatch(n int) {
+	e.batch = n
+	chunks := parallel.Workers()
+	if chunks > n {
+		chunks = n
+	}
+	if e.int8 {
+		e.ensureBatchInt8(n, chunks)
+		return
+	}
 	for len(e.colsBuf) < n {
 		e.colsBuf = append(e.colsBuf, make([]float32, e.maxColsFloats))
 		e.colsHdr = append(e.colsHdr, &tensor.Tensor{})
 		e.imgHdr = append(e.imgHdr, &tensor.Tensor{})
 		e.outHdr = append(e.outHdr, &tensor.Tensor{})
-	}
-	e.batch = n
-	chunks := parallel.Workers()
-	if chunks > n {
-		chunks = n
 	}
 	for len(e.scratch) < chunks {
 		e.scratch = append(e.scratch, make([]float32, e.maxScratchFloats))
@@ -534,14 +629,14 @@ func (e *Engine) decodeFCPanel(fs *fcStep, t, parity int) {
 // sum+ReLU into an engine-owned buffer.
 func (e *Engine) runBlock(bs *blockStep, x *tensor.Tensor) *tensor.Tensor {
 	b := bs.b
-	main := e.runConv(bs.conv1, x)
+	main := e.convForward(bs.conv1, x)
 	main = b.BN1.Forward(main, false)
 	main = b.Relu1.Forward(main, false)
-	main = e.runConv(bs.conv2, main)
+	main = e.convForward(bs.conv2, main)
 	main = b.BN2.Forward(main, false)
 	short := x
 	if bs.shortcut != nil {
-		short = e.runConv(bs.shortcut, x)
+		short = e.convForward(bs.shortcut, x)
 		short = b.ShortcutBN.Forward(short, false)
 	}
 	out := ensure4(&bs.out, main.Shape[0], main.Shape[1], main.Shape[2], main.Shape[3])

@@ -1,0 +1,342 @@
+package secure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"seal/internal/parallel"
+	"seal/internal/tensor"
+)
+
+// Int8 streaming mode. The pipeline shape is the float engine's — stage
+// the batch's quantized im2col while panel 0 decrypts, then overlap the
+// CTR decrypt of panel t+1 with the GEMM consumption of panel t — but
+// every weight panel is one byte per weight on the bus (≈4× less
+// ciphertext through the AES engine) and the consume is the dual-lane
+// int8 GEMM. Chained panels accumulate in int32, which is exact, so the
+// logits are bit-identical across worker counts AND panel sizes by
+// arithmetic; and because the quantize → GEMM → dequantize → bias float
+// ops run helper-for-helper in the nn quantized eval path's order, the
+// streamed logits equal nn's int8 logits bit for bit as well.
+
+// initInt8 finishes construction for a quantized image: double-buffered
+// int8 panels, their packed dual-lane words, and each layer's
+// dequantization scales cached from the plaintext qs header.
+func (e *Engine) initInt8() error {
+	e.qwbuf[0] = make([]int8, e.maxPanelInt8)
+	e.qwbuf[1] = make([]int8, e.maxPanelInt8)
+	e.qwHdr[0] = &tensor.Int8Mat{}
+	e.qwHdr[1] = &tensor.Int8Mat{}
+	e.qpack[0] = make([]int64, e.maxPacked)
+	e.qpack[1] = make([]int64, e.maxPacked)
+	e.qxHdr = &tensor.Int8Mat{}
+	for _, cs := range e.convSteps {
+		s, err := e.readScales(cs.layer.Name, cs.layer.OutC)
+		if err != nil {
+			return err
+		}
+		cs.qscales = s
+	}
+	for _, fs := range e.fcSteps {
+		s, err := e.readScales(fs.layer.Name, fs.layer.Out)
+		if err != nil {
+			return err
+		}
+		fs.qscales = s
+	}
+	return nil
+}
+
+// readScales loads a layer's per-output-channel scales from its
+// plaintext "qs:" header region.
+func (e *Engine) readScales(name string, outC int) ([]float32, error) {
+	r := e.img.Layout.Region("qs:" + name)
+	if r == nil {
+		return nil, fmt.Errorf("secure: missing scales region for %s", name)
+	}
+	buf := make([]byte, r.Size)
+	if _, err := e.img.DecryptRangeInto(r, 0, buf); err != nil {
+		return nil, err
+	}
+	s := make([]float32, outC)
+	for o := range s {
+		s[o] = math.Float32frombits(binary.LittleEndian.Uint32(buf[o*4:]))
+	}
+	return s, nil
+}
+
+// ensureBatchInt8 grows the quantized per-item pools to n items and the
+// per-chunk GEMM workspaces to the fan-out width. The GEMM workspaces
+// size themselves lazily on first use (their ensure is internal), so a
+// warm Forward with stable batch and pool width allocates nothing.
+func (e *Engine) ensureBatchInt8(n, chunks int) {
+	for len(e.qimgBuf) < n {
+		e.qimgBuf = append(e.qimgBuf, make([]int8, e.maxQImg))
+		e.qcolsBuf = append(e.qcolsBuf, make([]int8, e.maxQCols))
+		e.qcolsHdr = append(e.qcolsHdr, &tensor.Int8Mat{})
+		e.accBuf = append(e.accBuf, make([]int32, e.maxAccInts))
+	}
+	if cap(e.actScale) < n {
+		e.actScale = make([]float32, n)
+	}
+	e.actScale = e.actScale[:cap(e.actScale)]
+	if e.maxFCIn > 0 && len(e.qxBuf) < n*e.maxFCIn {
+		e.qxBuf = make([]int8, n*e.maxFCIn)
+		e.fcAcc = make([]int32, n*e.maxFCOut)
+	}
+	for len(e.int8WS) < chunks {
+		e.int8WS = append(e.int8WS, tensor.NewInt8GEMMWS(1, 1, 0))
+		e.deqBuf = append(e.deqBuf, make([]float32, e.maxAccInts))
+		e.deqHdr = append(e.deqHdr, &tensor.Tensor{})
+	}
+}
+
+// runConvInt8 streams one quantized convolution. Per-element float
+// order matches Conv2D.inferRangeInt8 exactly: dynamic per-item
+// quantization, exact int32 panel accumulation (any split yields the
+// same bits), one dequantize-transpose, then the bias adds.
+func (e *Engine) runConvInt8(cs *convStep, x *tensor.Tensor) *tensor.Tensor {
+	c := cs.layer
+	g := c.Geom
+	n := x.Dim(0)
+	oh, ow := g.OutH(), g.OutW()
+	ncols := oh * ow
+	perIn := g.InC * g.InH * g.InW
+	perOut := c.OutC * ncols
+	out := ensure4(&cs.out, n, c.OutC, oh, ow)
+	if parallel.Workers() == 1 {
+		// Strict serial path: no closures, no goroutines.
+		for i := 0; i < n; i++ {
+			e.quantizeItem(cs, x, i, perIn, ncols)
+		}
+		for t := 0; t < cs.panels; t++ {
+			e.decodeConvPanelInt8(cs, t, 0)
+			e.consumeConvInt8Range(cs, t, 0, 0, n, e.int8WS[0])
+		}
+		for i := 0; i < n; i++ {
+			e.finishConvItem(cs, out, i, ncols, perOut, 0)
+		}
+		return out
+	}
+	parallel.Do(
+		func() { e.quantizeAll(cs, x, n, perIn, ncols) },
+		func() { e.decodeConvPanelInt8(cs, 0, 0) },
+	)
+	for t := 0; t < cs.panels; t++ {
+		t := t
+		cur := t & 1
+		if t+1 < cs.panels {
+			parallel.Do(
+				func() { e.decodeConvPanelInt8(cs, t+1, cur^1) },
+				func() { e.consumeConvInt8(cs, t, cur, n) },
+			)
+		} else {
+			e.consumeConvInt8(cs, t, cur, n)
+		}
+	}
+	chunks := parallel.Workers()
+	if chunks > n {
+		chunks = n
+	}
+	grain := (n + chunks - 1) / chunks
+	parallel.For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.finishConvItem(cs, out, i, ncols, perOut, lo/grain)
+		}
+	})
+	return out
+}
+
+// quantizeItem quantizes batch item i with its own dynamic symmetric
+// scale and expands it into the transposed int8 im2col layout — the
+// same helper sequence as the nn quantized path, for bit-identity.
+func (e *Engine) quantizeItem(cs *convStep, x *tensor.Tensor, i, perIn, ncols int) {
+	g := cs.layer.Geom
+	in := x.Data[i*perIn : (i+1)*perIn]
+	s := tensor.QuantScale(tensor.MaxAbsSlice(in))
+	e.actScale[i] = s
+	qimg := e.qimgBuf[i][:perIn]
+	tensor.QuantizeSliceInto(qimg, in, s)
+	aimQ(e.qcolsHdr[i], e.qcolsBuf[i][:ncols*g.InC*cs.kk], ncols, g.InC*cs.kk)
+	tensor.Im2ColTransInt8Into(e.qcolsHdr[i], qimg, g)
+}
+
+// quantizeAll stages every item's quantized im2col, items sharded
+// across the pool (runs overlapped with panel 0's decrypt).
+func (e *Engine) quantizeAll(cs *convStep, x *tensor.Tensor, n, perIn, ncols int) {
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.quantizeItem(cs, x, i, perIn, ncols)
+		}
+	})
+}
+
+// decodeConvPanelInt8 decrypts panel t's kernel-row blocks, repacks the
+// layout's [channel][out·kk+k] bytes into the GEMM's [out][channel-k]
+// int8 panel, and prepacks the dual-lane words once for the whole
+// batch. Decode tasks are strictly serialized by the pipeline; only
+// qwbuf/qpack[parity] cross into the concurrent consume.
+func (e *Engine) decodeConvPanelInt8(cs *convStep, t, parity int) {
+	r := cs.region
+	c0 := t * cs.cpp
+	c1 := c0 + cs.cpp
+	if c1 > cs.layer.Geom.InC {
+		c1 = cs.layer.Geom.InC
+	}
+	buf := e.stagePanel(r, c0, c1)
+	kp := (c1 - c0) * cs.kk
+	outC := cs.layer.OutC
+	w := e.qwbuf[parity][:outC*kp]
+	bb := int(r.BlockBytes)
+	for c := c0; c < c1; c++ {
+		blk := buf[(c-c0)*bb:]
+		col0 := (c - c0) * cs.kk
+		for o := 0; o < outC; o++ {
+			dst := w[o*kp+col0 : o*kp+col0+cs.kk]
+			src := blk[o*cs.kk:]
+			for k := range dst {
+				dst[k] = int8(src[k])
+			}
+		}
+	}
+	aimQ(e.qwHdr[parity], w, outC, kp)
+	tensor.PackInt8BInto(e.qpack[parity][:tensor.PackedBLen(outC, kp)], e.qwHdr[parity])
+}
+
+// consumeConvInt8 folds panel t into every item's accumulators, items
+// sharded across the pool with one GEMM workspace per chunk.
+func (e *Engine) consumeConvInt8(cs *convStep, t, parity, n int) {
+	chunks := parallel.Workers()
+	if chunks > n {
+		chunks = n
+	}
+	if chunks == 1 {
+		e.consumeConvInt8Range(cs, t, parity, 0, n, e.int8WS[0])
+		return
+	}
+	grain := (n + chunks - 1) / chunks
+	parallel.For(n, grain, func(lo, hi int) {
+		e.consumeConvInt8Range(cs, t, parity, lo, hi, e.int8WS[lo/grain])
+	})
+}
+
+func (e *Engine) consumeConvInt8Range(cs *convStep, t, parity, lo, hi int, ws *tensor.Int8GEMMWS) {
+	hdr := e.qwHdr[parity]
+	pb := e.qpack[parity][:tensor.PackedBLen(hdr.Rows, hdr.Cols)]
+	p0 := t * cs.cpp * cs.kk
+	acc := t > 0
+	outC := cs.layer.OutC
+	g := cs.layer.Geom
+	ncols := g.OutH() * g.OutW()
+	for i := lo; i < hi; i++ {
+		tensor.MatMulInt8TransBPrepackedAcc(e.accBuf[i][:ncols*outC], e.qcolsHdr[i], p0, pb, hdr, acc, ws)
+	}
+}
+
+// finishConvItem dequantizes item i's accumulators through the chunk's
+// staging matrix and applies the bias — copy then bias adds, in
+// inferRangeInt8's exact order.
+func (e *Engine) finishConvItem(cs *convStep, out *tensor.Tensor, i, ncols, perOut, chunk int) {
+	c := cs.layer
+	hdr := e.deqHdr[chunk]
+	aim2(hdr, e.deqBuf[chunk][:perOut], c.OutC, ncols)
+	tensor.DequantizeTransposeInto(hdr, e.accBuf[i], cs.qscales, e.actScale[i])
+	copy(out.Data[i*perOut:(i+1)*perOut], hdr.Data)
+	if c.UseBias {
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.Bias.W.Data[oc]
+			base := (i*c.OutC + oc) * ncols
+			for j := 0; j < ncols; j++ {
+				out.Data[base+j] += b
+			}
+		}
+	}
+}
+
+// runFCInt8 streams one quantized fully-connected layer: per-row
+// dynamic activation scales (logits independent of batchmates), panel
+// GEMMs chained in exact int32, then dequantize and bias in
+// Linear.forwardInt8's order.
+func (e *Engine) runFCInt8(fs *fcStep, x *tensor.Tensor) *tensor.Tensor {
+	l := fs.layer
+	n := x.Dim(0)
+	out := ensure2(&fs.out, n, l.Out)
+	qx := e.qxHdr
+	aimQ(qx, e.qxBuf[:n*l.In], n, l.In)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*l.In : (i+1)*l.In]
+		s := tensor.QuantScale(tensor.MaxAbsSlice(row))
+		e.actScale[i] = s
+		tensor.QuantizeSliceInto(qx.Data[i*l.In:(i+1)*l.In], row, s)
+	}
+	acc := e.fcAcc[:n*l.Out]
+	ws := e.int8WS[0]
+	if parallel.Workers() == 1 {
+		for t := 0; t < fs.panels; t++ {
+			e.decodeFCPanelInt8(fs, t, 0)
+			e.fcPanelGEMMInt8(fs, qx, acc, t, 0, ws)
+		}
+	} else {
+		e.decodeFCPanelInt8(fs, 0, 0)
+		for t := 0; t < fs.panels; t++ {
+			t := t
+			cur := t & 1
+			if t+1 < fs.panels {
+				parallel.Do(
+					func() { e.decodeFCPanelInt8(fs, t+1, cur^1) },
+					func() { e.fcPanelGEMMInt8(fs, qx, acc, t, cur, ws) },
+				)
+			} else {
+				e.fcPanelGEMMInt8(fs, qx, acc, t, cur, ws)
+			}
+		}
+	}
+	tensor.DequantizeInto(out, acc, e.actScale[:n], fs.qscales)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	return out
+}
+
+// decodeFCPanelInt8 decrypts input-feature blocks [t·cpp, ...) and
+// repacks the layout's [feature][out] bytes into the [out][feature]
+// int8 panel, prepacking the dual-lane words.
+func (e *Engine) decodeFCPanelInt8(fs *fcStep, t, parity int) {
+	r := fs.region
+	c0 := t * fs.cpp
+	c1 := c0 + fs.cpp
+	if c1 > fs.layer.In {
+		c1 = fs.layer.In
+	}
+	buf := e.stagePanel(r, c0, c1)
+	kp := c1 - c0
+	outC := fs.layer.Out
+	w := e.qwbuf[parity][:outC*kp]
+	bb := int(r.BlockBytes)
+	for c := c0; c < c1; c++ {
+		blk := buf[(c-c0)*bb:]
+		col := c - c0
+		for o := 0; o < outC; o++ {
+			w[o*kp+col] = int8(blk[o])
+		}
+	}
+	aimQ(e.qwHdr[parity], w, outC, kp)
+	tensor.PackInt8BInto(e.qpack[parity][:tensor.PackedBLen(outC, kp)], e.qwHdr[parity])
+}
+
+func (e *Engine) fcPanelGEMMInt8(fs *fcStep, qx *tensor.Int8Mat, acc []int32, t, parity int, ws *tensor.Int8GEMMWS) {
+	hdr := e.qwHdr[parity]
+	pb := e.qpack[parity][:tensor.PackedBLen(hdr.Rows, hdr.Cols)]
+	tensor.MatMulInt8TransBPrepackedAcc(acc, qx, t*fs.cpp, pb, hdr, t > 0, ws)
+}
+
+// aimQ re-points a reusable int8 matrix header at a storage slice.
+func aimQ(m *tensor.Int8Mat, data []int8, rows, cols int) {
+	m.Data = data
+	m.Rows = rows
+	m.Cols = cols
+}

@@ -1,0 +1,183 @@
+package secure
+
+import (
+	"math"
+	"testing"
+
+	"seal/internal/core"
+	"seal/internal/models"
+	"seal/internal/nn"
+	"seal/internal/parallel"
+	"seal/internal/prng"
+)
+
+// buildInt8Engine plans, lays out and encrypts a quantized image of a
+// freshly initialized model, enables the model's own int8 eval path
+// (the bit-identity reference), and wraps the image in a streaming
+// engine.
+func buildInt8Engine(t testing.TB, arch *models.Arch, opts core.Options, ratio float64, seed uint64, panelBytes int) (*Engine, *models.Model) {
+	t.Helper()
+	m, err := models.Build(arch, prng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Ratio = ratio
+	p, err := core.NewPlan(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := core.NewInt8Layout(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := core.NewMemoryImage(l, m, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(img, m, panelBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Int8() {
+		t.Fatal("engine did not detect int8 layout")
+	}
+	nn.EnableInt8(m.Net)
+	return e, m
+}
+
+// TestInt8ForwardMatchesNNInt8 is the quantized equivalence matrix:
+// streamed int8 logits must be bit-identical to the nn quantized eval
+// forward for conv nets (plain and residual) and an all-FC net, across
+// SE ratios, batch sizes, panel geometries and pool widths. Exact int32
+// accumulation makes panel- and worker-invariance arithmetic facts; the
+// shared float helper order does the rest.
+func TestInt8ForwardMatchesNNInt8(t *testing.T) {
+	r := prng.New(177)
+	for _, tc := range testCases() {
+		for _, ratio := range []float64{0, 0.5, 1.0} {
+			for _, panelBytes := range []int{1, 4096, 0} {
+				e, m := buildInt8Engine(t, tc.arch, tc.opts, ratio, 2000+uint64(ratio*10), panelBytes)
+				for _, batch := range []int{1, 5} {
+					x := randInput(r, tc.arch, batch)
+					want := cloneData(m.Forward(x, false))
+					for _, workers := range []int{1, 8} {
+						prev := parallel.SetWorkers(workers)
+						got := e.Forward(x)
+						parallel.SetWorkers(prev)
+						if len(got.Data) != len(want) {
+							t.Fatalf("%s ratio %v panel %d batch %d: logits size %d, want %d",
+								tc.name, ratio, panelBytes, batch, len(got.Data), len(want))
+						}
+						for i := range want {
+							if got.Data[i] != want[i] {
+								t.Fatalf("%s ratio %v panel %d batch %d workers %d: logit %d = %v, want %v",
+									tc.name, ratio, panelBytes, batch, workers, i, got.Data[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInt8ForwardCloseToFloat bounds the quantized streamed logits
+// against the float model forward. The bound is coarse (per-layer
+// quantization error compounds through the net), but catches scale
+// mishandling, which shows up as order-of-magnitude drift.
+func TestInt8ForwardCloseToFloat(t *testing.T) {
+	r := prng.New(178)
+	for _, tc := range testCases() {
+		e, _ := buildInt8Engine(t, tc.arch, tc.opts, 0.5, 2100, 0)
+		x := randInput(r, tc.arch, 2)
+		got := cloneData(e.Forward(x))
+		// the model reference must be the float path: rebuild fresh
+		m2, err := models.Build(tc.arch, prng.New(2100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m2.Forward(x, false)
+		var maxAbs float64
+		for _, v := range want.Data {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		tol := 0.1 * maxAbs
+		if tol == 0 {
+			tol = 1e-3
+		}
+		for i := range got {
+			if d := math.Abs(float64(got[i] - want.Data[i])); d > tol {
+				t.Fatalf("%s logit %d: int8 %v vs float %v (|Δ| %v > tol %v)",
+					tc.name, i, got[i], want.Data[i], d, tol)
+			}
+		}
+	}
+}
+
+// TestInt8EngineDecryptsFewerBytes pins the memory-side win: one int8
+// forward must push well under the float engine's ciphertext bytes
+// through the CTR keystream (1 byte/weight vs 4, before line
+// alignment).
+func TestInt8EngineDecryptsFewerBytes(t *testing.T) {
+	r := prng.New(179)
+	arch := models.VGG16Arch().Scale(0.25, 0)
+	ef, _ := buildEngine(t, arch, core.DefaultOptions(), 0.5, 3000, 0)
+	e8, _ := buildInt8Engine(t, arch, core.DefaultOptions(), 0.5, 3000, 0)
+	x := randInput(r, arch, 1)
+	ef.Forward(x)
+	e8.Forward(x)
+	fb := ef.Stats().BytesDecrypted
+	qb := e8.Stats().BytesDecrypted
+	if qb == 0 || fb == 0 {
+		t.Fatalf("unexpected zero decrypt counts: float %d int8 %d", fb, qb)
+	}
+	if ratio := float64(fb) / float64(qb); ratio < 3.5 {
+		t.Fatalf("int8 decrypt traffic only %.2fx under float (float %d, int8 %d)", ratio, fb, qb)
+	}
+}
+
+// TestInt8EngineZeroAllocsWarm pins the warm single-worker int8 forward
+// to zero heap allocations, like the float engine.
+func TestInt8EngineZeroAllocsWarm(t *testing.T) {
+	r := prng.New(180)
+	arch := models.VGG16Arch().Scale(0.125, 0)
+	e, _ := buildInt8Engine(t, arch, core.DefaultOptions(), 0.5, 3100, 0)
+	x := randInput(r, arch, 2)
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	e.Forward(x)
+	allocs := testing.AllocsPerRun(10, func() {
+		e.Forward(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm int8 Forward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestInt8EngineIgnoresModelWeights zeroes every kernel after the image
+// is built: the streamed int8 logits must still match the reference,
+// proving weights come from the encrypted image.
+func TestInt8EngineIgnoresModelWeights(t *testing.T) {
+	r := prng.New(181)
+	for _, tc := range testCases() {
+		e, m := buildInt8Engine(t, tc.arch, tc.opts, 0.5, 3200, 0)
+		x := randInput(r, tc.arch, 2)
+		want := cloneData(m.Forward(x, false))
+		for _, w := range m.WeightLayers {
+			if w.Conv != nil {
+				w.Conv.Weight.W.Fill(0)
+			} else {
+				w.FC.Weight.W.Fill(0)
+			}
+		}
+		got := e.Forward(x)
+		for i := range want {
+			if got.Data[i] != want[i] {
+				t.Fatalf("%s logit %d changed after zeroing model weights: %v vs %v",
+					tc.name, i, got.Data[i], want[i])
+			}
+		}
+	}
+}

@@ -252,6 +252,46 @@ func TestRegistrySentinelErrors(t *testing.T) {
 	if _, err := reg.Register("t", "m", ModelSpec{Arch: testArch, Scale: testScale, Ratio: &bad}); !errors.Is(err, ErrBadInput) {
 		t.Fatalf("bad ratio: %v, want ErrBadInput", err)
 	}
+	if _, err := reg.Register("t", "m", ModelSpec{Arch: testArch, Scale: testScale, PanelBytes: -4096}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("negative panel_bytes: %v, want ErrBadInput", err)
+	}
+}
+
+// TestInt8ModelServing registers a quantized deployment and checks the
+// served logits are bit-identical to the quantized eval forward — the
+// int8 analogue of the float gateway's plaintext-forward contract.
+func TestInt8ModelServing(t *testing.T) {
+	_, ts := newGateway(t, Config{Workers: 2})
+	spec := testSpec(9)
+	spec.Int8 = true
+	info := register(t, ts, "alpha", "q", spec)
+	if !info.Int8 {
+		t.Fatalf("register info does not report int8: %+v", info)
+	}
+
+	arch, err := seal.ArchByName(testArch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch = arch.Scale(testScale, 0)
+	p, err := seal.Prepare(arch, 9, seal.WithInt8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := sampleInput(t, 13)
+	x := seal.NewTensor(1, arch.InC, arch.InH, arch.InW)
+	copy(x.Data, input)
+	ref := p.Model().Forward(x, false)
+	want := make([]float32, len(ref.Data))
+	copy(want, ref.Data)
+
+	res, resp, err := infer(ts, "alpha", "q", input)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %v status %v", err, resp.StatusCode)
+	}
+	if !bitsEqual(rawFloats(res.Raw), want) {
+		t.Fatal("served int8 logits not bit-identical to the quantized eval forward")
+	}
 }
 
 // TestDynamicBatching fires concurrent requests into a single-worker

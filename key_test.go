@@ -73,6 +73,56 @@ func TestKeyDerivationDomains(t *testing.T) {
 	}
 }
 
+// TestDeriveSubKeyEdgeCases sweeps the awkward tenant names — empty,
+// exactly one block, spanning several blocks, embedded NUL bytes,
+// shared prefixes and zero-padding look-alikes — and requires every
+// derivation to be deterministic and every pair of distinct names to
+// yield distinct sub-keys. The length-prefixed CBC-MAC makes the padded
+// message injective, so e.g. "a" and "a\x00" must not collide even
+// though they zero-pad to the same block content.
+func TestDeriveSubKeyEdgeCases(t *testing.T) {
+	master := KeyFromString("edge-case master")
+	tenants := []string{
+		"",
+		"a",
+		"a\x00",
+		"a\x00\x00",
+		"\x00",
+		"\x00a",
+		"ab",
+		"0123456789abcdef",            // exactly one block
+		"0123456789abcdef\x00",        // one block + padding look-alike
+		"0123456789abcde",             // one byte short of a block
+		"0123456789abcdefg",           // one byte past a block
+		strings.Repeat("tenant-", 16), // 7 blocks
+		strings.Repeat("tenant-", 16) + "x",
+		"tenant-a",
+		"tenant-a/shard-0",
+		"tenant-a/shard-1",
+	}
+	keys := make([]Key, len(tenants))
+	for i, name := range tenants {
+		keys[i] = master.DeriveSubKey(name)
+		if again := master.DeriveSubKey(name); again != keys[i] {
+			t.Fatalf("DeriveSubKey(%q) not deterministic", name)
+		}
+		if keys[i] == master {
+			t.Fatalf("DeriveSubKey(%q) returned the master key", name)
+		}
+		var zero Key
+		if keys[i] == zero {
+			t.Fatalf("DeriveSubKey(%q) returned the zero key", name)
+		}
+	}
+	for i := range tenants {
+		for j := i + 1; j < len(tenants); j++ {
+			if keys[i] == keys[j] {
+				t.Fatalf("tenants %q and %q derived the same sub-key", tenants[i], tenants[j])
+			}
+		}
+	}
+}
+
 func TestArchByNameUnknownWrapsSentinel(t *testing.T) {
 	if _, err := ArchByName("lenet"); !errors.Is(err, ErrUnknownArch) {
 		t.Fatalf("ArchByName error %v, want ErrUnknownArch", err)

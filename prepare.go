@@ -5,6 +5,7 @@ import (
 
 	"seal/internal/core"
 	"seal/internal/models"
+	"seal/internal/nn"
 	"seal/internal/prng"
 	"seal/internal/secure"
 )
@@ -19,6 +20,8 @@ type prepareConfig struct {
 	batch      int
 	key        Key
 	panelBytes int
+	panelSet   bool
+	int8       bool
 }
 
 // WithOptions sets the smart-encryption planning options (ratio,
@@ -38,10 +41,21 @@ func WithKey(k Key) PrepareOption {
 	return func(c *prepareConfig) { c.key = k }
 }
 
-// WithPanelBytes sets the streaming engine's per-panel decrypt budget
-// (0 keeps the engine default).
+// WithPanelBytes sets the streaming engine's per-panel decrypt budget.
+// n must be positive; omit the option to keep the engine default.
+// Prepare rejects n <= 0 with a wrapped ErrBadOption.
 func WithPanelBytes(n int) PrepareOption {
-	return func(c *prepareConfig) { c.panelBytes = n }
+	return func(c *prepareConfig) { c.panelBytes = n; c.panelSet = true }
+}
+
+// WithInt8 seals the image in the quantized int8 layout: weights are
+// stored one byte each (per-output-channel symmetric scales ride in a
+// plaintext header), cutting ciphertext bus traffic ~4x, and the
+// streaming engine runs the saturating int8 GEMM path. The prepared
+// model's own eval forward is switched to the matching quantized path,
+// so Prepared.Forward stays bit-identical to Model().Forward.
+func WithInt8() PrepareOption {
+	return func(c *prepareConfig) { c.int8 = true }
 }
 
 // Prepared bundles everything Prepare builds for one architecture: the
@@ -54,6 +68,7 @@ type Prepared struct {
 	arch       *Arch
 	seed       uint64
 	panelBytes int
+	int8       bool
 
 	model  *Model
 	plan   *Plan
@@ -83,9 +98,12 @@ func Prepare(arch *Arch, seed uint64, opts ...PrepareOption) (*Prepared, error) 
 		o(&cfg)
 	}
 	if cfg.batch < 1 {
-		return nil, fmt.Errorf("seal: Prepare batch %d, want >= 1", cfg.batch)
+		return nil, fmt.Errorf("%w: batch %d, want >= 1", ErrBadOption, cfg.batch)
 	}
-	p := &Prepared{arch: arch, seed: seed, panelBytes: cfg.panelBytes}
+	if cfg.panelSet && cfg.panelBytes <= 0 {
+		return nil, fmt.Errorf("%w: panel bytes %d, want > 0 (omit WithPanelBytes for the engine default)", ErrBadOption, cfg.panelBytes)
+	}
+	p := &Prepared{arch: arch, seed: seed, panelBytes: cfg.panelBytes, int8: cfg.int8}
 	var err error
 	if p.model, err = models.Build(arch, prng.New(seed)); err != nil {
 		return nil, err
@@ -93,7 +111,11 @@ func Prepare(arch *Arch, seed uint64, opts ...PrepareOption) (*Prepared, error) 
 	if p.plan, err = core.NewPlan(p.model, cfg.opts); err != nil {
 		return nil, err
 	}
-	if p.layout, err = core.NewLayout(p.plan, cfg.batch); err != nil {
+	newLayout := core.NewLayout
+	if cfg.int8 {
+		newLayout = core.NewInt8Layout
+	}
+	if p.layout, err = newLayout(p.plan, cfg.batch); err != nil {
 		return nil, err
 	}
 	if p.image, err = core.NewMemoryImage(p.layout, p.model, cfg.key.b[:]); err != nil {
@@ -101,6 +123,11 @@ func Prepare(arch *Arch, seed uint64, opts ...PrepareOption) (*Prepared, error) 
 	}
 	if p.engine, err = secure.NewEngine(p.image, p.model, cfg.panelBytes); err != nil {
 		return nil, err
+	}
+	if cfg.int8 {
+		// Switch the bundled model's eval forward to the quantized path
+		// so it stays the bit-identity reference for the int8 engine.
+		nn.EnableInt8(p.model.Net)
 	}
 	return p, nil
 }
@@ -122,6 +149,10 @@ func (p *Prepared) Arch() *Arch { return p.arch }
 // Seed returns the weight-initialization seed.
 func (p *Prepared) Seed() uint64 { return p.seed }
 
+// Int8 reports whether the image was sealed in the quantized int8
+// layout (see WithInt8).
+func (p *Prepared) Int8() bool { return p.int8 }
+
 // Model returns the plaintext model (structure, biases, BN state; its
 // kernel weights also live sealed in the image).
 func (p *Prepared) Model() *Model { return p.model }
@@ -142,8 +173,9 @@ func (p *Prepared) Engine() *SecureEngine { return p.engine }
 
 // Forward streams one inference batch [N, C, H, W] from the sealed
 // image on the primary engine and returns the logits, bit-identical to
-// the plaintext Model.Forward. The returned tensor is valid until the
-// next Forward on the same engine.
+// Model().Forward (the float eval forward, or the quantized one under
+// WithInt8). The returned tensor is valid until the next Forward on the
+// same engine.
 func (p *Prepared) Forward(x *Tensor) *Tensor { return p.engine.Forward(x) }
 
 // NewEngine builds an additional streaming engine over the same sealed

@@ -1,7 +1,9 @@
 package seal
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"seal/internal/parallel"
@@ -116,6 +118,119 @@ func TestPrepareOptionsApply(t *testing.T) {
 	}
 	if _, err := Prepare(nil, 7); err == nil {
 		t.Fatal("nil arch accepted")
+	}
+}
+
+// TestPrepareRejectsBadOptions pins the Prepare-time option validation:
+// nonsense arguments fail fast with the wrapped ErrBadOption sentinel
+// instead of surfacing later from engine construction, while omitting
+// WithPanelBytes keeps the engine default.
+func TestPrepareRejectsBadOptions(t *testing.T) {
+	arch, err := ArchByName("vgg16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch = arch.Scale(0.0625, 0)
+	for _, bad := range []struct {
+		name string
+		opt  PrepareOption
+	}{
+		{"panel 0", WithPanelBytes(0)},
+		{"panel -1", WithPanelBytes(-1)},
+		{"panel -4096", WithPanelBytes(-4096)},
+		{"batch 0", WithBatch(0)},
+		{"batch -3", WithBatch(-3)},
+	} {
+		_, err := Prepare(arch, 7, bad.opt)
+		if err == nil {
+			t.Fatalf("%s accepted", bad.name)
+		}
+		if !errors.Is(err, ErrBadOption) {
+			t.Fatalf("%s: error %v does not wrap ErrBadOption", bad.name, err)
+		}
+	}
+	if _, err := Prepare(arch, 7); err != nil {
+		t.Fatalf("default panel budget rejected: %v", err)
+	}
+}
+
+// TestPrepareInt8 drives WithInt8 through the façade: the bundle
+// reports int8, the sealed image carries the quantized layout (1-byte
+// weight regions plus plaintext scales headers), the streamed logits
+// are bit-identical to the bundled quantized eval forward — including
+// on a pool worker from NewEngine — and stay within quantization
+// tolerance of a float Prepare of the same seed.
+func TestPrepareInt8(t *testing.T) {
+	arch, err := ArchByName("vgg16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch = arch.Scale(0.125, 0)
+	key := KeyFromString("int8 facade key")
+	p8, err := Prepare(arch, 33, WithKey(key), WithInt8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p8.Int8() {
+		t.Fatal("Int8() false on a WithInt8 bundle")
+	}
+	pf, err := Prepare(arch, 33, WithKey(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Int8() {
+		t.Fatal("Int8() true on a float bundle")
+	}
+	var qb, fb uint64
+	for _, lp := range p8.Plan().Layers {
+		if p8.Layout().Region("qs:"+lp.Name) == nil {
+			t.Fatalf("%s missing plaintext scales region", lp.Name)
+		}
+		// Per-layer sizes can tie on tiny layers (4 KiB page alignment),
+		// but the totals must show the ~4x byte-per-weight cut.
+		qb += p8.Layout().Region("w:" + lp.Name).Size
+		fb += pf.Layout().Region("w:" + lp.Name).Size
+	}
+	if ratio := float64(fb) / float64(qb); ratio < 2.5 {
+		t.Fatalf("int8 weight regions only %.2fx under float (%d vs %d bytes)", ratio, qb, fb)
+	}
+
+	x := randInput(arch, 2, 11)
+	want := p8.Model().Forward(x, false)
+	wantCopy := make([]float32, len(want.Data))
+	copy(wantCopy, want.Data)
+	got := p8.Forward(x)
+	for i := range wantCopy {
+		if got.Data[i] != wantCopy[i] {
+			t.Fatalf("int8 logit %d = %v, want %v (not bit-identical to quantized eval)", i, got.Data[i], wantCopy[i])
+		}
+	}
+	w, err := p8.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wgot := w.Forward(x)
+	for i := range wantCopy {
+		if wgot.Data[i] != wantCopy[i] {
+			t.Fatalf("worker int8 logit %d = %v, want %v", i, wgot.Data[i], wantCopy[i])
+		}
+	}
+
+	ref := pf.Model().Forward(x, false)
+	var maxAbs float64
+	for _, v := range ref.Data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := 0.1 * maxAbs
+	if tol == 0 {
+		tol = 1e-3
+	}
+	for i := range wantCopy {
+		if d := math.Abs(float64(wantCopy[i] - ref.Data[i])); d > tol {
+			t.Fatalf("int8 logit %d drifts %v from float %v (tol %v)", i, d, ref.Data[i], tol)
+		}
 	}
 }
 

@@ -22,6 +22,18 @@ type benchModeResult struct {
 	SealOverDirect float64 `json:"sealOverDirect"`
 }
 
+// benchStatResult extends benchModeResult with the statistical fast-sim
+// mode's validation against the exact fast scheduler.
+type benchStatResult struct {
+	benchModeResult
+	ExactFrac         float64 `json:"exact_frac"` // mean exactly-simulated cycle fraction
+	SpeedupVsExact    float64 `json:"speedup_vs_exact"`
+	ErrDirectVGG      float64 `json:"err_directVGG"`
+	ErrSealOverDirect float64 `json:"err_sealOverDirect"`
+	Tolerance         float64 `json:"tolerance"`
+	TolOK             bool    `json:"tol_ok"`
+}
+
 // benchReport is the schema of BENCH_PR4.json.
 type benchReport struct {
 	Benchmark string          `json:"benchmark"`
@@ -36,6 +48,9 @@ type benchReport struct {
 	MetricsEqual bool   `json:"metrics_equal"`
 	GoldenFile   string `json:"golden_file,omitempty"`
 	GoldenMatch  *bool  `json:"golden_match,omitempty"`
+	// Stat validates the statistical fast-sim mode against the exact
+	// fast scheduler: a relative-error tolerance, not bit-identity.
+	Stat *benchStatResult `json:"stat,omitempty"`
 }
 
 type golden struct {
@@ -44,22 +59,25 @@ type golden struct {
 	Tolerance      float64 `json:"tolerance"`
 }
 
-// benchNetworks measures exp.RunNetworks under testing.Benchmark with
-// the given scheduler and returns the timing plus the last run's
-// results (every run is deterministic, so "last" is "any").
-func benchNetworks(reference bool) (benchModeResult, *exp.NetworkResults, error) {
-	if reference {
+// benchNetworks measures exp.RunNetworks under testing.Benchmark in the
+// given mode — "fast" (event-driven exact), "ref" (per-cycle reference)
+// or "stat" (statistical fast-sim) — and returns the timing plus the
+// last run's results (every run is deterministic, so "last" is "any").
+func benchNetworks(mode string) (benchModeResult, *exp.NetworkResults, error) {
+	if mode == "ref" {
 		os.Setenv("SEAL_SIM_REF", "1")
 		defer os.Unsetenv("SEAL_SIM_REF")
 	} else {
 		os.Unsetenv("SEAL_SIM_REF")
 	}
+	cfg := exp.QuickTimingConfig()
+	cfg.FastSim = mode == "stat"
 	var nr *exp.NetworkResults
 	var err error
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			nr, err = exp.RunNetworks(exp.QuickTimingConfig())
+			nr, err = exp.RunNetworks(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -83,22 +101,28 @@ func benchNetworks(reference bool) (benchModeResult, *exp.NetworkResults, error)
 	}, nr, nil
 }
 
-// runBenchJSON benchmarks the Figure-7 workload under both schedulers,
-// verifies they agree bit-for-bit (and optionally against a golden
-// file), writes the report to out and returns the process exit code:
-// nonzero when the schedulers disagree or the golden check fails.
-func runBenchJSON(out, goldenPath string) int {
+// runBenchJSON benchmarks the Figure-7 workload under the exact fast
+// scheduler, the per-cycle reference and the statistical fast-sim mode,
+// verifies the first two agree bit-for-bit (and optionally against a
+// golden file) and the stat mode within statTol, writes the report to
+// out and returns the process exit code: nonzero on any failed check.
+func runBenchJSON(out, goldenPath string, statTol float64) int {
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "sealsim: bench-json: %v\n", err)
 		return 1
 	}
 	fmt.Fprintln(os.Stderr, "sealsim: benchmarking Figure-7 workload, fast-forward scheduler...")
-	fast, fastNR, err := benchNetworks(false)
+	fast, fastNR, err := benchNetworks("fast")
 	if err != nil {
 		return fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "sealsim: benchmarking Figure-7 workload, per-cycle reference scheduler...")
-	ref, refNR, err := benchNetworks(true)
+	ref, refNR, err := benchNetworks("ref")
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "sealsim: benchmarking Figure-7 workload, statistical fast-sim mode...")
+	stat, statNR, err := benchNetworks("stat")
 	if err != nil {
 		return fail(err)
 	}
@@ -111,10 +135,25 @@ func runBenchJSON(out, goldenPath string) int {
 		Speedup:      float64(ref.NsPerOp) / float64(fast.NsPerOp),
 		MetricsEqual: reflect.DeepEqual(fastNR, refNR),
 	}
+	statRep := benchStatResult{
+		benchModeResult:   stat,
+		ExactFrac:         statNR.MeanExactFrac(),
+		SpeedupVsExact:    float64(fast.NsPerOp) / float64(stat.NsPerOp),
+		ErrDirectVGG:      relErr(stat.DirectVGG, fast.DirectVGG),
+		ErrSealOverDirect: relErr(stat.SealOverDirect, fast.SealOverDirect),
+		Tolerance:         statTol,
+	}
+	statRep.TolOK = statRep.ErrDirectVGG <= statTol && statRep.ErrSealOverDirect <= statTol
+	rep.Stat = &statRep
 
 	code := 0
 	if !rep.MetricsEqual {
 		fmt.Fprintln(os.Stderr, "sealsim: FAIL: fast-forward and reference schedulers disagree")
+		code = 1
+	}
+	if !statRep.TolOK {
+		fmt.Fprintf(os.Stderr, "sealsim: FAIL: stat mode outside %.2g tolerance: err(directVGG)=%.4f err(sealOverDirect)=%.4f\n",
+			statTol, statRep.ErrDirectVGG, statRep.ErrSealOverDirect)
 		code = 1
 	}
 	if g, err := os.ReadFile(goldenPath); err == nil {
@@ -143,7 +182,15 @@ func runBenchJSON(out, goldenPath string) int {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return fail(err)
 	}
-	fmt.Printf("wrote %s: fast %.2fs/op, reference %.2fs/op, speedup %.2fx, metrics_equal=%v\n",
-		out, float64(fast.NsPerOp)/1e9, float64(ref.NsPerOp)/1e9, rep.Speedup, rep.MetricsEqual)
+	fmt.Printf("wrote %s: fast %.2fs/op, reference %.2fs/op, speedup %.2fx, metrics_equal=%v, stat err %.3f%%/%.3f%% (tol_ok=%v)\n",
+		out, float64(fast.NsPerOp)/1e9, float64(ref.NsPerOp)/1e9, rep.Speedup, rep.MetricsEqual,
+		statRep.ErrDirectVGG*100, statRep.ErrSealOverDirect*100, statRep.TolOK)
 	return code
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
 }

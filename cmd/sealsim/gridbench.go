@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"seal/internal/exp"
+)
+
+// gridReport is the schema of BENCH_PR9.json: the paper-scale
+// configuration sweep plus the stat mode's validation aggregates.
+type gridReport struct {
+	Benchmark string       `json:"benchmark"`
+	Stat      bool         `json:"stat"`
+	Scale     string       `json:"scale"`
+	Seconds   float64      `json:"seconds"` // whole-sweep wall time
+	Spec      exp.GridSpec `json:"spec"`
+
+	Cells []exp.GridCell `json:"cells"`
+
+	// Validation aggregates over the exactly re-run sampled cells.
+	Sampled     int     `json:"sampled"`
+	MaxErr      float64 `json:"max_err"`
+	MinSpeedup  float64 `json:"min_speedup"`
+	MeanSpeedup float64 `json:"mean_speedup"`
+	// Gates applied (only when stat mode sampled at least one cell).
+	MaxErrGate     float64 `json:"max_err_gate"`
+	MinSpeedupGate float64 `json:"min_speedup_gate"`
+	GatesOK        bool    `json:"gates_ok"`
+}
+
+// runGrid executes the configuration sweep, prints its table, writes the
+// JSON report to out and returns the process exit code: nonzero when a
+// validation gate fails.
+func runGrid(cfg exp.TimingConfig, spec exp.GridSpec, stat bool, out string, maxErr, minSpeedup float64, emit func(*exp.Table) bool) int {
+	scale := "paper"
+	if cfg.Scale != 1 {
+		scale = fmt.Sprintf("scale=%.2g", cfg.Scale)
+	}
+	fmt.Fprintf(os.Stderr, "sealsim: grid: %d×%d×%d×%d cells (%s, stat=%v)...\n",
+		len(spec.Archs), len(spec.Ratios), len(spec.Engines), len(spec.L2KB), scale, stat)
+	t0 := time.Now()
+	res, err := exp.Grid(cfg, spec, stat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealsim: grid: %v\n", err)
+		return 1
+	}
+	if !emit(res.Table()) {
+		return 1
+	}
+
+	rep := gridReport{
+		Benchmark:      "Grid_RatioArchEnginesL2",
+		Stat:           stat,
+		Scale:          scale,
+		Seconds:        time.Since(t0).Seconds(),
+		Spec:           spec,
+		Cells:          res.Cells,
+		Sampled:        res.Sampled,
+		MaxErr:         res.MaxErr,
+		MinSpeedup:     res.MinSpeedup,
+		MeanSpeedup:    res.MeanSpeedup,
+		MaxErrGate:     maxErr,
+		MinSpeedupGate: minSpeedup,
+		GatesOK:        true,
+	}
+	code := 0
+	if res.Sampled > 0 {
+		if res.MaxErr > maxErr {
+			fmt.Fprintf(os.Stderr, "sealsim: FAIL: grid max relative error %.4f exceeds gate %.4f\n", res.MaxErr, maxErr)
+			rep.GatesOK = false
+			code = 1
+		}
+		if minSpeedup > 0 && res.MinSpeedup < minSpeedup {
+			fmt.Fprintf(os.Stderr, "sealsim: FAIL: grid min speedup %.1fx below gate %.1fx\n", res.MinSpeedup, minSpeedup)
+			rep.GatesOK = false
+			code = 1
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealsim: grid: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sealsim: grid: %v\n", err)
+		return 1
+	}
+	if res.Sampled > 0 {
+		fmt.Printf("wrote %s: %d cells in %.1fs, sampled %d, max err %.3f%%, speedup min %.1fx mean %.1fx, gates_ok=%v\n",
+			out, len(res.Cells), rep.Seconds, res.Sampled, res.MaxErr*100, res.MinSpeedup, res.MeanSpeedup, rep.GatesOK)
+	} else {
+		fmt.Printf("wrote %s: %d cells in %.1fs (no cells sampled for validation)\n", out, len(res.Cells), rep.Seconds)
+	}
+	return code
+}

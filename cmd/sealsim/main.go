@@ -1,6 +1,6 @@
 // Command sealsim runs the simulator-based experiments of the SEAL
 // reproduction: Table I and Figures 1, 5, 6, 7 and 8, plus the ratio and
-// engine-count ablations.
+// engine-count ablations and the paper-scale configuration grid.
 //
 // Usage:
 //
@@ -10,38 +10,98 @@
 //	sealsim -exp nets                 # Figures 7 and 8 in one pass
 //	sealsim -exp ratios               # normalized IPC vs encryption ratio
 //	sealsim -exp engines              # engines-per-controller ablation
+//	sealsim -exp grid -stat           # ratio × arch × engines × L2 sweep
 //	sealsim -exp all
 //	sealsim -exp fig1 -quick          # smoke-scale run
+//
+// The -stat flag opts the simulators into the statistical fast-sim mode
+// (DESIGN.md §17): results become validated estimates instead of
+// bit-exact cycle counts, an order of magnitude faster per run. The
+// grid re-runs sampled cells exactly and gates the error and speedup
+// (-max-err, -min-speedup), writing the report to -bench-out
+// (BENCH_PR9.json by default).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"seal/internal/exp"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1, fig1, fig5, fig6, nets, ratios, engines, integrity, l2sweep, counters, all")
+		which   = flag.String("exp", "all", "experiment: table1, fig1, fig5, fig6, nets, ratios, engines, integrity, l2sweep, counters, grid, all")
 		quick   = flag.Bool("quick", false, "use the reduced smoke-scale configuration")
 		ratio   = flag.Float64("ratio", 0.5, "SEAL encryption ratio for figures 5-8")
 		batch   = flag.Int("batch", 1, "inference batch size for figures 5-8")
 		counter = flag.Int("counterkb", 96, "counter cache size (total KB) for Counter/SEAL-C")
 		csv     = flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
 		bars    = flag.Bool("bars", false, "render ASCII bar charts instead of aligned text")
+		statF   = flag.Bool("stat", false, "statistical fast-sim mode: validated estimates instead of bit-exact cycle counts (DESIGN.md §17)")
 
-		benchJSON = flag.Bool("bench-json", false, "benchmark the Figure-7 workload under both schedulers, check bit-identity, write BENCH_PR4.json and exit")
-		benchOut  = flag.String("bench-out", "BENCH_PR4.json", "output path for -bench-json")
+		benchJSON = flag.Bool("bench-json", false, "benchmark the Figure-7 workload under both schedulers and stat mode, check bit-identity and tolerances, write the report and exit")
+		benchOut  = flag.String("bench-out", "", "report output path (default BENCH_PR4.json for -bench-json, BENCH_PR9.json for -exp grid)")
 		goldenF   = flag.String("golden", "testdata/fig7_golden.json", "golden metrics file for -bench-json (skipped if absent)")
+		statTol   = flag.Float64("stat-tol", 0.02, "max relative error of stat-mode Fig-7 metrics vs the exact scheduler (-bench-json gate)")
+
+		gridArchs   = flag.String("grid-archs", "vgg16,resnet18", "grid: comma-separated architectures")
+		gridRatios  = flag.String("grid-ratios", "0.3,0.5,0.7", "grid: comma-separated encryption ratios")
+		gridEngines = flag.String("grid-engines", "1,2,4", "grid: comma-separated engines per memory controller")
+		gridL2      = flag.String("grid-l2", "128,256,512", "grid: comma-separated per-slice L2 KB")
+		gridSample  = flag.Int("grid-sample", 9, "grid: validate every Nth cell against the exact scheduler (0 disables; needs -stat)")
+		maxErr      = flag.Float64("max-err", 0.02, "grid gate: max relative error on sampled cells")
+		minSpeedup  = flag.Float64("min-speedup", 1.5, "grid gate: min stat-mode speedup on sampled cells (0 disables); measured ~2.3x per Fig-7-scale cell, see DESIGN.md §17")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealsim: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sealsim: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sealsim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sealsim: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *benchJSON {
-		os.Exit(runBenchJSON(*benchOut, *goldenF))
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_PR4.json"
+		}
+		return runBenchJSON(out, *goldenF, *statTol)
 	}
 
 	cfg := exp.DefaultTimingConfig()
@@ -51,28 +111,38 @@ func main() {
 	cfg.Ratio = *ratio
 	cfg.Batch = *batch
 	cfg.CounterKB = *counter
+	cfg.FastSim = *statF
 
-	emit := func(t *exp.Table) {
+	emit := func(t *exp.Table) bool {
 		switch {
 		case *csv:
 			if err := t.CSV(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "sealsim: %v\n", err)
-				os.Exit(1)
+				return false
 			}
 		case *bars:
 			t.Bars(os.Stdout)
 		default:
 			t.Format(os.Stdout)
 		}
+		return true
 	}
+	code := 0
 	run := func(name string, f func() (*exp.Table, error)) {
+		if code != 0 {
+			return
+		}
 		start := time.Now()
 		t, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sealsim: %s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
-		emit(t)
+		if !emit(t) {
+			code = 1
+			return
+		}
 		if !*csv {
 			fmt.Printf("  (%s in %.1fs)\n\n", name, time.Since(start).Seconds())
 		}
@@ -92,16 +162,20 @@ func main() {
 	if want("fig6") {
 		run("fig6", func() (*exp.Table, error) { return exp.Figure6(cfg) })
 	}
-	if want("nets") || want("fig7") || want("fig8") {
+	if code == 0 && (want("nets") || want("fig7") || want("fig8")) {
 		start := time.Now()
 		nr, err := exp.RunNetworks(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sealsim: nets: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		emit(nr.Figure7())
+		if !emit(nr.Figure7()) {
+			return 1
+		}
 		fmt.Println()
-		emit(nr.Figure8())
+		if !emit(nr.Figure8()) {
+			return 1
+		}
 		if !*csv {
 			fmt.Printf("  (nets in %.1fs)\n\n", time.Since(start).Seconds())
 		}
@@ -124,9 +198,75 @@ func main() {
 			return exp.L2Sweep(cfg, []int{64, 128, 256, 512})
 		})
 	}
+	// The grid is opt-in (not part of -exp all): 54 exact cells at paper
+	// scale is exactly the cost the stat mode exists to avoid.
+	if code == 0 && *which != "all" && want("grid") {
+		spec := exp.GridSpec{SampleEvery: *gridSample}
+		var err error
+		if spec.Archs, err = splitList(*gridArchs); err == nil {
+			spec.Ratios, err = splitFloats(*gridRatios)
+		}
+		if err == nil {
+			spec.Engines, err = splitInts(*gridEngines)
+		}
+		if err == nil {
+			spec.L2KB, err = splitInts(*gridL2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealsim: grid: %v\n", err)
+			return 1
+		}
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_PR9.json"
+		}
+		code = runGrid(cfg, spec, *statF, out, *maxErr, *minSpeedup, emit)
+	}
 	if want("counters") {
 		run("counters", func() (*exp.Table, error) {
 			return exp.CounterGranularity(cfg, []int{16, 8, 4, 1})
 		})
 	}
+	return code
+}
+
+func splitList(s string) ([]string, error) {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}
+
+func splitFloats(s string) ([]float64, error) {
+	parts, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		if out[i], err = strconv.ParseFloat(p, 64); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func splitInts(s string) ([]int, error) {
+	parts, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		if out[i], err = strconv.Atoi(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -18,18 +19,50 @@ import (
 	"seal/internal/serve"
 )
 
-// benchParams describes one closed-loop serving run.
+// benchParams describes one open-loop serving sweep.
 type benchParams struct {
 	arch     string
 	scale    float64
 	ratio    float64
 	seed     uint64
-	qps      float64
-	duration time.Duration
-	clients  int
+	qps      float64       // base offered load; sweep points are multiples of it
+	duration time.Duration // measurement window per sweep point
+	sweep    []float64     // offered-load multipliers, ascending
+
+	// Golden gates, applied to the saturation point; 0 disables a gate.
+	minThroughput float64
+	minAvgBatch   float64
 }
 
-// benchReport is the schema of BENCH_PR7.json.
+// PR 7 closed-loop baseline on the same configuration (BENCH_PR7.json,
+// vgg16 scale 0.25 ratio 0.5 max-batch 8): the numbers this overhaul is
+// measured against.
+const (
+	pr7ThroughputQPS = 66.80
+	pr7AvgBatch      = 1.962
+)
+
+// pointReport is one offered-load point of the sweep. Latency is
+// measured from each request's *scheduled* Poisson arrival time, not
+// from when the client goroutine got around to sending it, so a slow
+// server cannot suppress the load that would have arrived meanwhile
+// (no coordinated omission).
+type pointReport struct {
+	OfferedQPS     float64 `json:"offered_qps"`
+	Arrivals       int     `json:"arrivals"`
+	Served         int64   `json:"served"`
+	Rejected429    int64   `json:"rejected_429"`
+	Errors         int64   `json:"errors"`
+	Mismatches     int64   `json:"mismatches"`
+	ThroughputQPS  float64 `json:"throughput_qps"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP95MS   float64 `json:"latency_p95_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	AvgBatch       float64 `json:"avg_batch"`
+	MaxBatchServed int64   `json:"max_batch_served"`
+}
+
+// benchReport is the schema of BENCH_PR10.json.
 type benchReport struct {
 	Benchmark     string  `json:"benchmark"`
 	Arch          string  `json:"arch"`
@@ -39,53 +72,69 @@ type benchReport struct {
 	MaxBatch      int     `json:"max_batch"`
 	QueueDepth    int     `json:"queue_depth"`
 	BatchWindowMS float64 `json:"batch_window_ms"`
-	TargetQPS     float64 `json:"target_qps"`
-	DurationS     float64 `json:"duration_s"`
-	Clients       int     `json:"clients"`
+	BaseQPS       float64 `json:"base_qps"`
+	PointS        float64 `json:"duration_s_per_point"`
 
-	Served         int64   `json:"served"`
-	Rejected429    int64   `json:"rejected_429"`
-	Errors         int64   `json:"errors"`
-	ThroughputQPS  float64 `json:"throughput_qps"`
-	LatencyP50MS   float64 `json:"latency_p50_ms"`
-	LatencyP95MS   float64 `json:"latency_p95_ms"`
-	LatencyP99MS   float64 `json:"latency_p99_ms"`
-	AvgBatch       float64 `json:"avg_batch"`
-	MaxBatchServed int64   `json:"max_batch_served"`
+	Points []pointReport `json:"points"`
+
+	// Saturation is the sweep point with the highest delivered
+	// throughput — the capacity of the pipeline. KneeOfferedQPS is the
+	// first offered load the gateway could no longer keep up with
+	// (delivered < 95% of offered); 0 if every point kept up.
+	Saturation     pointReport `json:"saturation"`
+	KneeOfferedQPS float64     `json:"knee_offered_qps"`
+
+	PR7ThroughputQPS float64 `json:"pr7_throughput_qps"`
+	PR7AvgBatch      float64 `json:"pr7_avg_batch"`
+	ThroughputVsPR7  float64 `json:"throughput_vs_pr7"`
+	AvgBatchVsPR7    float64 `json:"avg_batch_vs_pr7"`
+	MinThroughputQPS float64 `json:"min_throughput_qps,omitempty"`
+	MinAvgBatch      float64 `json:"min_avg_batch,omitempty"`
+
 	// LogitsAllEqual is the bit-identity gate: every served logit vector
-	// compared exactly against the local plaintext forward.
-	LogitsAllEqual bool  `json:"logits_all_equal"`
-	Mismatches     int64 `json:"mismatches"`
+	// across every sweep point compared exactly against the local
+	// plaintext forward.
+	LogitsAllEqual bool `json:"logits_all_equal"`
 }
 
-// clientTally accumulates one closed-loop client's observations; merged
-// after the run so the hot loop takes no locks.
-type clientTally struct {
-	latencies  []time.Duration
-	served     int64
-	rejected   int64
-	errors     int64
-	mismatches int64
+// arrival is one scheduled request's outcome.
+type arrival struct {
+	latency  time.Duration
+	status   int
+	mismatch bool
+	err      bool
 }
 
 // runBenchJSON stands up the gateway in-process behind a real HTTP
-// listener, registers one model through the API, then drives it with a
-// token-bucket-paced closed loop and reports latency percentiles,
-// throughput and the bit-identity verdict. Nonzero exit when any served
-// logit vector differs from the plaintext forward.
+// listener, registers one model through the API, then sweeps offered
+// load with Poisson open-loop arrivals on the raw-f32 content type and
+// reports per-point latency percentiles, delivered throughput, batch
+// widths and the bit-identity verdict. Nonzero exit on any mismatch,
+// transport error, or missed golden gate.
 func runBenchJSON(out string, cfg serve.Config, p benchParams) int {
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "sealserve: bench-json: %v\n", err)
 		return 1
 	}
-	if p.clients < 1 {
-		p.clients = 1
+	if len(p.sweep) == 0 {
+		p.sweep = []float64{1}
 	}
 
 	gw := serve.New(cfg)
 	defer gw.Close()
 	ts := httptest.NewServer(gw.Handler())
 	defer ts.Close()
+
+	// The default transport keeps only 2 idle conns per host; an open
+	// loop at saturation runs hundreds of concurrent requests, and
+	// reconnect churn would contaminate the latency measurement.
+	client := ts.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr = tr.Clone()
+		tr.MaxIdleConns = 1024
+		tr.MaxIdleConnsPerHost = 1024
+		client = &http.Client{Transport: tr}
+	}
 
 	// Register through the HTTP API so the bench exercises the same path
 	// as a real operator.
@@ -95,7 +144,7 @@ func runBenchJSON(out string, cfg serve.Config, p benchParams) int {
 	if err != nil {
 		return fail(err)
 	}
-	resp, err := ts.Client().Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return fail(err)
 	}
@@ -134,136 +183,149 @@ func runBenchJSON(out string, cfg serve.Config, p benchParams) int {
 	for i, v := range x.Data {
 		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
 	}
-	reqBody, _ := json.Marshal(serve.InferRequest{Raw: raw})
 	url := ts.URL + "/v1/tenants/bench/models/" + p.arch + "/infer"
 
+	// post sends one sample on the raw-f32 wire format — the zero-copy
+	// hot path a production load balancer would use.
 	post := func() (status int, logits []byte, err error) {
-		resp, err := ts.Client().Post(url, "application/json", bytes.NewReader(reqBody))
+		resp, err := client.Post(url, serve.ContentTypeF32, bytes.NewReader(raw))
 		if err != nil {
 			return 0, nil, err
 		}
 		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return resp.StatusCode, nil, nil
-		}
-		var ir serve.InferResponse
-		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
 			return resp.StatusCode, nil, err
 		}
-		return resp.StatusCode, ir.Raw, nil
+		return resp.StatusCode, b, nil
 	}
 
-	// Warm every pooled engine's streaming workspaces before measuring.
-	for i := 0; i < 2*info.Workers; i++ {
+	// Warm the HTTP connections and per-model request pools (the engines
+	// themselves were already warmed at full batch width by Register).
+	for i := 0; i < 2*info.Workers+2; i++ {
 		if _, _, err := post(); err != nil {
 			return fail(fmt.Errorf("warmup: %w", err))
 		}
 	}
 
-	// Token bucket paced at the target rate; closed-loop clients block
-	// on it, so offered load never exceeds the target and a saturated
-	// server sheds the surplus as 429s rather than an unbounded queue.
-	tokens := make(chan struct{}, p.clients)
-	stop := make(chan struct{})
-	go func() {
-		interval := time.Duration(float64(time.Second) / p.qps)
-		if interval <= 0 {
-			interval = time.Microsecond
-		}
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				select {
-				case tokens <- struct{}{}:
-				default: // clients saturated; drop the slot
-				}
-			}
-		}
-	}()
-
-	tallies := make([]clientTally, p.clients)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for c := 0; c < p.clients; c++ {
-		wg.Add(1)
-		go func(t *clientTally) {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tokens:
-				}
-				t0 := time.Now()
-				status, logits, err := post()
-				switch {
-				case err != nil:
-					t.errors++
-				case status == http.StatusOK:
-					t.served++
-					t.latencies = append(t.latencies, time.Since(t0))
-					if !bytes.Equal(logits, want) {
-						t.mismatches++
-					}
-				case status == http.StatusTooManyRequests:
-					t.rejected++
-				default:
-					t.errors++
-				}
-			}
-		}(&tallies[c])
-	}
-	time.Sleep(p.duration)
-	close(stop)
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var all []time.Duration
 	rep := benchReport{
-		Benchmark:     "SecureServe",
-		Arch:          p.arch,
-		Scale:         p.scale,
-		Ratio:         p.ratio,
-		Workers:       info.Workers,
-		MaxBatch:      cfg.MaxBatch,
-		QueueDepth:    cfg.QueueDepth,
-		BatchWindowMS: float64(cfg.BatchWindow.Microseconds()) / 1e3,
-		TargetQPS:     p.qps,
-		DurationS:     elapsed.Seconds(),
-		Clients:       p.clients,
+		Benchmark:        "SecureServeOpenLoop",
+		Arch:             p.arch,
+		Scale:            p.scale,
+		Ratio:            p.ratio,
+		Workers:          info.Workers,
+		MaxBatch:         cfg.MaxBatch,
+		QueueDepth:       cfg.QueueDepth,
+		BatchWindowMS:    float64(cfg.BatchWindow.Microseconds()) / 1e3,
+		BaseQPS:          p.qps,
+		PointS:           p.duration.Seconds(),
+		PR7ThroughputQPS: pr7ThroughputQPS,
+		PR7AvgBatch:      pr7AvgBatch,
+		MinThroughputQPS: p.minThroughput,
+		MinAvgBatch:      p.minAvgBatch,
 	}
-	for i := range tallies {
-		t := &tallies[i]
-		rep.Served += t.served
-		rep.Rejected429 += t.rejected
-		rep.Errors += t.errors
-		rep.Mismatches += t.mismatches
-		all = append(all, t.latencies...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(q float64) float64 {
-		if len(all) == 0 {
-			return 0
+
+	gaps := prng.New(p.seed + 2)
+	allEqual := true
+	for _, mult := range p.sweep {
+		offered := p.qps * mult
+		if offered <= 0 {
+			continue
 		}
-		idx := int(q * float64(len(all)))
-		if idx >= len(all) {
-			idx = len(all) - 1
+		// Pre-draw the Poisson schedule: exponential inter-arrival gaps at
+		// rate `offered`, truncated to the measurement window.
+		var schedule []time.Duration
+		var at time.Duration
+		for at < p.duration {
+			u := gaps.Float64()
+			gap := time.Duration(-math.Log(1-u) / offered * float64(time.Second))
+			at += gap
+			if at >= p.duration {
+				break
+			}
+			schedule = append(schedule, at)
 		}
-		return float64(all[idx].Microseconds()) / 1e3
+
+		before := modelStats(gw)
+		results := make([]arrival, len(schedule))
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i, offset := range schedule {
+			wg.Add(1)
+			go func(i int, sched time.Time) {
+				defer wg.Done()
+				time.Sleep(time.Until(sched))
+				status, logits, err := post()
+				results[i].latency = time.Since(sched) // from scheduled arrival
+				results[i].status = status
+				if err != nil {
+					results[i].err = true
+					return
+				}
+				if status == http.StatusOK && !bytes.Equal(logits, want) {
+					results[i].mismatch = true
+				}
+			}(i, start.Add(offset))
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		after := modelStats(gw)
+
+		pt := pointReport{OfferedQPS: offered, Arrivals: len(schedule)}
+		var lats []time.Duration
+		for _, r := range results {
+			switch {
+			case r.err:
+				pt.Errors++
+			case r.status == http.StatusOK:
+				pt.Served++
+				lats = append(lats, r.latency)
+				if r.mismatch {
+					pt.Mismatches++
+				}
+			case r.status == http.StatusTooManyRequests:
+				pt.Rejected429++
+			default:
+				pt.Errors++
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(q float64) float64 {
+			if len(lats) == 0 {
+				return 0
+			}
+			idx := int(q * float64(len(lats)))
+			if idx >= len(lats) {
+				idx = len(lats) - 1
+			}
+			return float64(lats[idx].Microseconds()) / 1e3
+		}
+		pt.LatencyP50MS = pct(0.50)
+		pt.LatencyP95MS = pct(0.95)
+		pt.LatencyP99MS = pct(0.99)
+		pt.ThroughputQPS = float64(pt.Served) / elapsed.Seconds()
+		if db := after.Batches - before.Batches; db > 0 {
+			pt.AvgBatch = float64(after.Items-before.Items) / float64(db)
+		}
+		pt.MaxBatchServed = after.MaxBatch
+		if pt.Mismatches > 0 || pt.Served == 0 {
+			allEqual = false
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("offered %.1f QPS: served %d/%d (%.1f QPS), rejected_429 %d, p50 %.1f ms, p99 %.1f ms, avg batch %.2f\n",
+			offered, pt.Served, pt.Arrivals, pt.ThroughputQPS, pt.Rejected429, pt.LatencyP50MS, pt.LatencyP99MS, pt.AvgBatch)
+
+		if pt.ThroughputQPS > rep.Saturation.ThroughputQPS {
+			rep.Saturation = pt
+		}
+		if rep.KneeOfferedQPS == 0 && pt.ThroughputQPS < 0.95*offered {
+			rep.KneeOfferedQPS = offered
+		}
 	}
-	rep.LatencyP50MS = pct(0.50)
-	rep.LatencyP95MS = pct(0.95)
-	rep.LatencyP99MS = pct(0.99)
-	rep.ThroughputQPS = float64(rep.Served) / elapsed.Seconds()
-	for _, st := range gw.Registry().Stats() {
-		rep.AvgBatch = st.AvgBatch
-		rep.MaxBatchServed = st.MaxBatch
-	}
-	rep.LogitsAllEqual = rep.Served > 0 && rep.Mismatches == 0
+
+	rep.LogitsAllEqual = allEqual
+	rep.ThroughputVsPR7 = rep.Saturation.ThroughputQPS / pr7ThroughputQPS
+	rep.AvgBatchVsPR7 = rep.Saturation.AvgBatch / pr7AvgBatch
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -273,18 +335,40 @@ func runBenchJSON(out string, cfg serve.Config, p benchParams) int {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return fail(err)
 	}
-	fmt.Printf("%s scale %.3g: served %d (%.1f QPS of %.1f target), rejected_429 %d, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, avg batch %.2f (max %d), logits_all_equal=%v\n",
-		p.arch, p.scale, rep.Served, rep.ThroughputQPS, p.qps, rep.Rejected429,
-		rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS, rep.AvgBatch, rep.MaxBatchServed, rep.LogitsAllEqual)
+	fmt.Printf("%s scale %.3g: saturation %.1f QPS (%.2fx PR7) at avg batch %.2f (%.2fx PR7), knee %.1f QPS, logits_all_equal=%v\n",
+		p.arch, p.scale, rep.Saturation.ThroughputQPS, rep.ThroughputVsPR7,
+		rep.Saturation.AvgBatch, rep.AvgBatchVsPR7, rep.KneeOfferedQPS, rep.LogitsAllEqual)
 	fmt.Printf("wrote %s\n", out)
 
+	code := 0
 	if !rep.LogitsAllEqual {
-		fmt.Fprintln(os.Stderr, "sealserve: FAIL: served logits differ from the plaintext forward (or nothing was served)")
-		return 1
+		fmt.Fprintln(os.Stderr, "sealserve: FAIL: served logits differ from the plaintext forward (or a point served nothing)")
+		code = 1
 	}
-	if rep.Errors > 0 {
-		fmt.Fprintf(os.Stderr, "sealserve: FAIL: %d transport/unexpected-status errors\n", rep.Errors)
-		return 1
+	for _, pt := range rep.Points {
+		if pt.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "sealserve: FAIL: %d transport/unexpected-status errors at offered %.1f QPS\n", pt.Errors, pt.OfferedQPS)
+			code = 1
+		}
 	}
-	return 0
+	if p.minThroughput > 0 && rep.Saturation.ThroughputQPS < p.minThroughput {
+		fmt.Fprintf(os.Stderr, "sealserve: FAIL: saturation throughput %.1f QPS below golden %.1f QPS\n",
+			rep.Saturation.ThroughputQPS, p.minThroughput)
+		code = 1
+	}
+	if p.minAvgBatch > 0 && rep.Saturation.AvgBatch < p.minAvgBatch {
+		fmt.Fprintf(os.Stderr, "sealserve: FAIL: saturation avg batch %.2f below golden %.2f\n",
+			rep.Saturation.AvgBatch, p.minAvgBatch)
+		code = 1
+	}
+	return code
+}
+
+// modelStats snapshots the bench model's serving counters (the gateway
+// hosts exactly one model here).
+func modelStats(gw *serve.Server) serve.ModelStats {
+	for _, st := range gw.Registry().Stats() {
+		return st
+	}
+	return serve.ModelStats{}
 }

@@ -10,7 +10,15 @@
 //
 //	sealserve -master-key $(openssl rand -hex 16)     # serve
 //	sealserve -insecure-dev-key -preload vgg16        # local dev, fixed key
-//	sealserve -bench-json                             # write BENCH_PR7.json and exit
+//	sealserve -bench-json                             # open-loop load sweep → BENCH_PR10.json
+//
+// The benchmark sweeps Poisson open-loop arrivals (-qps times each
+// -sweep multiplier, -duration per point) against an in-process
+// gateway on the raw-f32 content type, measuring latency from each
+// request's scheduled arrival time so queueing delay is never hidden
+// (no coordinated omission). It locates the saturation knee, checks
+// every served logit vector bit-for-bit, and enforces the
+// -min-throughput / -min-avg-batch goldens at the saturation point.
 //
 // The master key must be 32 hex characters (16 random bytes). The
 // passphrase-derived dev key is accepted only behind -insecure-dev-key
@@ -38,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -61,11 +70,14 @@ func main() {
 		window  = flag.Duration("batch-window", serve.DefaultBatchWindow, "how long the batcher waits to widen a batch")
 		workers = flag.Int("workers", 0, "secure engines per model (0 = size from SEAL_WORKERS/CPU)")
 
-		benchJSON = flag.Bool("bench-json", false, "run the closed-loop serving benchmark, write the JSON report and exit")
-		benchOut  = flag.String("bench-out", "BENCH_PR7.json", "output path for -bench-json")
-		qps       = flag.Float64("qps", 100, "target sustained request rate for -bench-json")
-		duration  = flag.Duration("duration", 3*time.Second, "measurement window for -bench-json")
-		clients   = flag.Int("clients", 16, "concurrent closed-loop clients for -bench-json")
+		benchJSON = flag.Bool("bench-json", false, "run the open-loop serving benchmark, write the JSON report and exit")
+		benchOut  = flag.String("bench-out", "BENCH_PR10.json", "output path for -bench-json")
+		qps       = flag.Float64("qps", 100, "base offered load for -bench-json; sweep points are multiples of it")
+		duration  = flag.Duration("duration", 3*time.Second, "measurement window per sweep point for -bench-json")
+		sweep     = flag.String("sweep", "0.5,1,2,6", "comma-separated offered-load multipliers of -qps for -bench-json, ascending")
+
+		minThroughput = flag.Float64("min-throughput", 0, "golden gate: fail -bench-json if saturation throughput is below this QPS (0 = no gate)")
+		minAvgBatch   = flag.Float64("min-avg-batch", 0, "golden gate: fail -bench-json if avg batch at saturation is below this (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -87,9 +99,15 @@ func main() {
 	}
 
 	if *benchJSON {
+		mults, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealserve: -sweep: %v\n", err)
+			os.Exit(1)
+		}
 		os.Exit(runBenchJSON(*benchOut, cfg, benchParams{
 			arch: firstArch(*preload), scale: *scale, ratio: *ratio, seed: *seed,
-			qps: *qps, duration: *duration, clients: *clients,
+			qps: *qps, duration: *duration, sweep: mults,
+			minThroughput: *minThroughput, minAvgBatch: *minAvgBatch,
 		}))
 	}
 
@@ -147,6 +165,19 @@ func resolveMasterKey(hexKey string, allowDev bool) (seal.Key, error) {
 		return seal.KeyFromString("sealserve dev master key"), nil
 	}
 	return seal.Key{}, errors.New("-master-key is required: 32 hex characters of random key material (e.g. `openssl rand -hex 16`); pass -insecure-dev-key to serve with the fixed dev key locally")
+}
+
+// parseSweep parses the -sweep multiplier list.
+func parseSweep(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad multiplier %q (want positive numbers)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

@@ -78,20 +78,23 @@ func shapeCheck(what string, x *tensor.Tensor, rank int) {
 }
 
 // ensureShaped readies a reusable workspace tensor for the given shape:
-// if ws already holds the right element count its shape header is
-// refreshed in place and it is returned, otherwise a fresh tensor is
-// allocated (first call, or a batch-size change). Contents are NOT
-// cleared — callers either overwrite every element or zero explicitly,
-// which is what keeps a reused buffer indistinguishable from a fresh
-// allocation (DESIGN §11/§13 ownership rules).
+// if ws has capacity for the element count its storage is re-sliced to
+// exactly that length and its shape header refreshed in place, otherwise
+// a fresh tensor is allocated (first call, or growth past the widest
+// batch seen). Shrinking reuses the same storage, so a serving engine
+// that mixes batch sizes under one ceiling stays allocation-free.
+// Contents are NOT cleared — callers either overwrite every element or
+// zero explicitly, which is what keeps a reused buffer indistinguishable
+// from a fresh allocation (DESIGN §11/§13 ownership rules).
 func ensureShaped(ws *tensor.Tensor, shape []int) *tensor.Tensor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
-	if ws == nil || len(ws.Data) != n {
+	if ws == nil || cap(ws.Data) < n {
 		return tensor.New(shape...)
 	}
+	ws.Data = ws.Data[:n]
 	ws.Shape = append(ws.Shape[:0], shape...)
 	return ws
 }

@@ -346,6 +346,14 @@ func (e *Engine) Model() *models.Model { return e.model }
 // ResetStats zeroes the counters.
 func (e *Engine) ResetStats() { e.stats = Stats{} }
 
+// Reserve grows the engine's per-item workspace pools to batch width n
+// without running a forward, so a serving layer can pre-size every
+// engine at install time and keep the steady-state path allocation-free
+// from the first request. Layer output tensors are still sized lazily on
+// first Forward (they grow once and are then reused for any batch ≤ the
+// widest seen).
+func (e *Engine) Reserve(n int) { e.ensureBatch(n) }
+
 // PanelBytes returns the configured panel byte budget.
 func (e *Engine) PanelBytes() int { return e.panelBytes }
 
@@ -652,14 +660,21 @@ func (e *Engine) runBlock(bs *blockStep, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // ensure2/ensure4 are ensureShaped for engine-owned outputs, written
-// without variadics so the warm path builds no shape slices.
+// without variadics so the warm path builds no shape slices. They are
+// grow-only on capacity: once an engine has run at its widest batch,
+// narrower batches re-slice the same storage instead of reallocating,
+// so a serving engine that mixes batch sizes stays allocation-free.
+// Safe because every engine-owned output is fully overwritten each
+// forward (first-panel GEMMs run with acc=false, runBlock assigns every
+// element, FC overwrites before adding bias).
 func ensure2(ws **tensor.Tensor, a, b int) *tensor.Tensor {
 	t := *ws
-	if t == nil || len(t.Data) != a*b {
+	if t == nil || cap(t.Data) < a*b {
 		t = tensor.New(a, b)
 		*ws = t
 		return t
 	}
+	t.Data = t.Data[:a*b]
 	t.Shape = t.Shape[:0]
 	t.Shape = append(t.Shape, a, b)
 	return t
@@ -667,11 +682,12 @@ func ensure2(ws **tensor.Tensor, a, b int) *tensor.Tensor {
 
 func ensure4(ws **tensor.Tensor, a, b, c, d int) *tensor.Tensor {
 	t := *ws
-	if t == nil || len(t.Data) != a*b*c*d {
+	if t == nil || cap(t.Data) < a*b*c*d {
 		t = tensor.New(a, b, c, d)
 		*ws = t
 		return t
 	}
+	t.Data = t.Data[:a*b*c*d]
 	t.Shape = t.Shape[:0]
 	t.Shape = append(t.Shape, a, b, c, d)
 	return t

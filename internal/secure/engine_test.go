@@ -195,6 +195,39 @@ func TestForwardZeroAllocWarm(t *testing.T) {
 	}
 }
 
+// TestForwardBatchShrinkReusesStorage pins the grow-only workspace
+// contract the serving gateway depends on: after one forward at the
+// widest batch, narrower batches must allocate nothing (the layer
+// outputs re-slice the same storage) and still produce logits
+// bit-identical to a never-grown engine at that batch.
+func TestForwardBatchShrinkReusesStorage(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	r := prng.New(66)
+	for _, tc := range testCases() {
+		e, _ := buildEngine(t, tc.arch, tc.opts, 0.5, 31, 4096)
+		wide := randInput(r, tc.arch, 8)
+		e.Forward(wide) // widest batch: grows every workspace once
+		for _, batch := range []int{1, 3, 8} {
+			x := randInput(r, tc.arch, batch)
+			fresh, _ := buildEngine(t, tc.arch, tc.opts, 0.5, 31, 4096)
+			want := cloneData(fresh.Forward(x))
+			got := cloneData(e.Forward(x))
+			if len(got) != len(want) {
+				t.Fatalf("%s batch %d: logits size %d, want %d", tc.name, batch, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s batch %d: logit %d = %v, want %v (shrunk-workspace forward diverged)", tc.name, batch, i, got[i], want[i])
+				}
+			}
+			if n := testing.AllocsPerRun(10, func() { e.Forward(x) }); n != 0 {
+				t.Fatalf("%s: forward at batch %d after batch 8 allocates %.1f objects/op, want 0 (workspaces not grow-only)", tc.name, batch, n)
+			}
+		}
+	}
+}
+
 // TestNewEngineRejectsMismatchedModel checks construction-time
 // validation: an image planned for a different network must not pair
 // with this model.

@@ -1,0 +1,10 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-count assertions are skipped under race: the
+// instrumentation itself allocates (one object per instrumented channel
+// round trip), which would fail AllocsPerRun pins that hold in normal
+// builds.
+const raceEnabled = true

@@ -69,19 +69,27 @@ type ModelInfo struct {
 }
 
 // ModelStats is the serving-counter snapshot for one hosted model.
+// QueueLen, BusyEngines and IdleWorkers make saturation observable
+// without a load driver: a persistently non-empty queue with every
+// engine busy is the saturated regime; DrainRateQPS and RetryHintS
+// expose what a rejected client would currently be told.
 type ModelStats struct {
-	Model    string  `json:"model"`
-	Gen      int64   `json:"gen"`
-	Requests int64   `json:"requests"`
-	Rejected int64   `json:"rejected_429"`
-	Batches  int64   `json:"batches"`
-	Items    int64   `json:"batched_items"`
-	AvgBatch float64 `json:"avg_batch"`
-	MaxBatch int64   `json:"max_batch"`
-	Swaps    int64   `json:"swaps"`
-	Workers  int     `json:"workers"`
-	QueueCap int     `json:"queue_cap"`
-	QueueLen int     `json:"queue_len"`
+	Model        string  `json:"model"`
+	Gen          int64   `json:"gen"`
+	Requests     int64   `json:"requests"`
+	Rejected     int64   `json:"rejected_429"`
+	Batches      int64   `json:"batches"`
+	Items        int64   `json:"batched_items"`
+	AvgBatch     float64 `json:"avg_batch"`
+	MaxBatch     int64   `json:"max_batch"`
+	Swaps        int64   `json:"swaps"`
+	Workers      int     `json:"workers"`
+	QueueCap     int     `json:"queue_cap"`
+	QueueLen     int     `json:"queue_len"`
+	BusyEngines  int64   `json:"busy_engines"`
+	IdleWorkers  int64   `json:"idle_workers"`
+	DrainRateQPS float64 `json:"drain_rate_qps"`
+	RetryHintS   int     `json:"retry_after_hint_s"`
 }
 
 // Registry is the multi-tenant model table. All methods are safe for
@@ -198,11 +206,29 @@ func (r *Registry) build(tenant string, spec ModelSpec) (*deployment, *RegisterI
 		spec:     spec,
 		prep:     prep,
 		pool:     pool,
+		slots:    make(map[*secure.Engine]*engineSlot, len(engines)),
 		inC:      arch.InC,
 		inH:      arch.InH,
 		inW:      arch.InW,
 		inputLen: arch.InC * arch.InH * arch.InW,
 		retired:  make(chan struct{}),
+	}
+	// Give every engine its dispatch slot and warm it with one forward at
+	// full batch width: engine workspaces (im2col, panel staging, layer
+	// outputs) and the slot's batch tensor are grow-only, so after this
+	// no steady-state request allocates. The warm input is nonzero so the
+	// int8 path's dynamic quantization scales stay well-defined. Warm-up
+	// work is excluded from the serving stats.
+	for _, eng := range engines {
+		slot := newEngineSlot(r.cfg.MaxBatch, dep.inputLen)
+		dep.slots[eng] = slot
+		for i := range slot.xbuf {
+			slot.xbuf[i] = float32(i%3) - 1
+		}
+		slot.x.Data = slot.xbuf
+		slot.x.Shape = append(slot.x.Shape[:0], r.cfg.MaxBatch, dep.inC, dep.inH, dep.inW)
+		eng.Forward(&slot.x)
+		eng.ResetStats()
 	}
 	info := &RegisterInfo{
 		Arch:              spec.Arch,
@@ -290,17 +316,21 @@ func (r *Registry) Stats() []ModelStats {
 	for k, h := range r.models {
 		dep := h.dep.Load()
 		st := ModelStats{
-			Model:    k,
-			Gen:      dep.gen,
-			Requests: h.stats.requests.Load(),
-			Rejected: h.stats.rejected.Load(),
-			Batches:  h.stats.batches.Load(),
-			Items:    h.stats.items.Load(),
-			MaxBatch: h.stats.maxBatch.Load(),
-			Swaps:    h.stats.swaps.Load(),
-			Workers:  dep.pool.Size(),
-			QueueCap: cap(h.queue),
-			QueueLen: len(h.queue),
+			Model:        k,
+			Gen:          dep.gen,
+			Requests:     h.stats.requests.Load(),
+			Rejected:     h.stats.rejected.Load(),
+			Batches:      h.stats.batches.Load(),
+			Items:        h.stats.items.Load(),
+			MaxBatch:     h.stats.maxBatch.Load(),
+			Swaps:        h.stats.swaps.Load(),
+			Workers:      dep.pool.Size(),
+			QueueCap:     cap(h.queue),
+			QueueLen:     len(h.queue),
+			BusyEngines:  h.busy.Load(),
+			IdleWorkers:  h.idle.Load(),
+			DrainRateQPS: h.drainRate(),
+			RetryHintS:   h.retryAfterHint(),
 		}
 		if st.Batches > 0 {
 			st.AvgBatch = float64(st.Items) / float64(st.Batches)

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"seal"
@@ -25,13 +27,16 @@ type Config struct {
 	QueueDepth int
 	// MaxBatch caps dynamic batch size.
 	MaxBatch int
-	// BatchWindow is how long the batcher waits to widen a non-full
-	// batch after its first request.
+	// BatchWindow is how long a dispatcher waits to widen a non-full
+	// batch after its first request — armed only when no other engine
+	// is idle (see hostedModel.collect).
 	BatchWindow time.Duration
 	// Workers is the number of streaming engines (concurrent batches)
 	// per model; 0 sizes it from the shared worker pool.
 	Workers int
-	// RetryAfter is the backoff hint sent with 429 responses.
+	// RetryAfter is the fallback 429 backoff hint, used until the first
+	// batch completes; after that the hint is derived from the live
+	// queue depth and the measured drain rate.
 	RetryAfter time.Duration
 }
 
@@ -60,6 +65,25 @@ func (c Config) withDefaults() Config {
 		c.RetryAfter = DefaultRetryAfter
 	}
 	return c
+}
+
+// ContentTypeF32 is the raw little-endian float32 encoding for /infer:
+// the request body is exactly inputLen·4 bytes of packed float32
+// sample values, and the response body is the packed float32 logits
+// row, with the serving metadata in X-Seal-Gen / X-Seal-Batch headers.
+// It bypasses encoding/json (and its float64 round-trip) entirely —
+// the hot path for load drivers and latency-sensitive clients.
+// application/octet-stream is accepted as a synonym on requests.
+const ContentTypeF32 = "application/x-seal-f32"
+
+// isRawF32 reports whether a request Content-Type selects the raw
+// float32 body encoding (parameters after ';' are ignored).
+func isRawF32(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(ct)
+	return ct == ContentTypeF32 || ct == "application/octet-stream"
 }
 
 // Server is the HTTP face of the gateway:
@@ -106,11 +130,12 @@ func (s *Server) Registry() *Registry { return s.reg }
 // (http.Server.Shutdown), then Close the gateway.
 func (s *Server) Close() { s.reg.Close() }
 
-// InferRequest is the inference body: exactly one of Input (a JSON
+// InferRequest is the JSON inference body: exactly one of Input (a JSON
 // number array) or Raw (base64 little-endian float32 bytes) must hold
 // the sample. Numbers survive the JSON round-trip bit-exactly (every
 // float32 is an exact float64), so either form supports the gateway's
-// bit-identity guarantee.
+// bit-identity guarantee. Clients that want JSON out of the loop
+// entirely should POST with Content-Type ContentTypeF32 instead.
 type InferRequest struct {
 	Input []float64 `json:"input,omitempty"`
 	Raw   []byte    `json:"raw,omitempty"`
@@ -167,12 +192,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var spec ModelSpec
 	if err := decodeJSON(w, r, &spec); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, nil)
 		return
 	}
 	info, err := s.reg.Register(r.PathValue("tenant"), r.PathValue("model"), spec)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -180,7 +205,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.Unregister(r.PathValue("tenant"), r.PathValue("model")); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "unregistered"})
@@ -190,28 +215,33 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	tenant, name := r.PathValue("tenant"), r.PathValue("model")
 	h, err := s.reg.lookup(tenant, name)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, nil)
+		return
+	}
+	if isRawF32(r.Header.Get("Content-Type")) {
+		s.handleInferF32(w, r, h)
 		return
 	}
 	var req InferRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, h)
 		return
 	}
 	input, err := req.sample()
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, h)
 		return
 	}
 	p, err := h.admit(input)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, h)
 		return
 	}
 	select {
 	case res := <-p.resp:
 		if res.err != nil {
-			s.writeError(w, res.err)
+			s.writeError(w, res.err, h)
+			h.putPending(p)
 			return
 		}
 		resp := InferResponse{Model: modelKey(tenant, name), Gen: res.gen, Batch: res.batch}
@@ -226,10 +256,78 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 				resp.Logits[i] = float64(v)
 			}
 		}
+		h.putPending(p)
 		writeJSON(w, http.StatusOK, resp)
 	case <-r.Context().Done():
-		// Client gone; the batch still completes and its result is
-		// dropped via the buffered response channel.
+		// Client gone; the batch still completes and its result lands in
+		// the buffered response channel. The pending is abandoned (not
+		// recycled) — reusing it could cross-wire a stale result.
+	}
+}
+
+// handleInferF32 is the raw little-endian float32 request path: the
+// body is read straight into pooled buffers, decoded without
+// encoding/json, and the logits row is written back as packed float32
+// bytes — zero heap allocations end to end once the model's request
+// pool is warm (the HTTP transport itself notwithstanding).
+func (s *Server) handleInferF32(w http.ResponseWriter, r *http.Request, h *hostedModel) {
+	want := h.inputLen()
+	need := want * 4
+	p := h.getPending()
+	if cap(p.raw) < need {
+		p.raw = make([]byte, need)
+	}
+	p.raw = p.raw[:need]
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if _, err := io.ReadFull(body, p.raw); err != nil {
+		h.putPending(p)
+		s.writeError(w, fmt.Errorf("%w: raw body: %v (want exactly %d bytes)", ErrBadInput, err, need), h)
+		return
+	}
+	var extra [1]byte
+	if n, _ := body.Read(extra[:]); n > 0 {
+		h.putPending(p)
+		s.writeError(w, fmt.Errorf("%w: raw body longer than %d bytes", ErrBadInput, need), h)
+		return
+	}
+	if cap(p.input) < want {
+		p.input = make([]float32, want)
+	}
+	p.input = p.input[:want]
+	for i := range p.input {
+		p.input[i] = math.Float32frombits(binary.LittleEndian.Uint32(p.raw[i*4:]))
+	}
+	if err := h.enqueue(p); err != nil {
+		h.putPending(p)
+		s.writeError(w, err, h)
+		return
+	}
+	select {
+	case res := <-p.resp:
+		if res.err != nil {
+			s.writeError(w, res.err, h)
+			h.putPending(p)
+			return
+		}
+		out := len(res.logits) * 4
+		if cap(p.raw) < out {
+			p.raw = make([]byte, out)
+		}
+		buf := p.raw[:out]
+		for i, v := range res.logits {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		hd := w.Header()
+		hd.Set("Content-Type", ContentTypeF32)
+		hd.Set("X-Seal-Model", modelKey(h.tenant, h.name))
+		hd.Set("X-Seal-Gen", strconv.FormatInt(res.gen, 10))
+		hd.Set("X-Seal-Batch", strconv.Itoa(res.batch))
+		hd.Set("Content-Length", strconv.Itoa(out))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf)
+		h.putPending(p)
+	case <-r.Context().Done():
+		// Abandoned mid-wait: the pending cannot be recycled.
 	}
 }
 
@@ -250,12 +348,18 @@ func statusFor(err error) int {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// writeError maps err to a status; for 429 the Retry-After hint is
+// derived from the model's live queue depth and measured drain rate
+// when the hosted model is known (h may be nil on lookup failures).
+func (s *Server) writeError(w http.ResponseWriter, err error, h *hostedModel) {
 	code := statusFor(err)
 	if code == http.StatusTooManyRequests {
 		secs := int(s.cfg.RetryAfter / time.Second)
 		if secs < 1 {
 			secs = 1
+		}
+		if h != nil {
+			secs = h.retryAfterHint()
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
